@@ -1,0 +1,47 @@
+"""Extra ablation (DESIGN.md): the beta (KL weight) of the beta-VAE.
+
+The paper fixes beta = 0.01 everywhere.  This bench sweeps beta to show
+why: tiny beta lets posteriors drift from the prior (hurting
+prior-regularized search, whose pull targets the origin), huge beta
+collapses the latent code (hurting reconstruction and cost shaping).
+"""
+
+import numpy as np
+import pytest
+from dataclasses import replace
+
+from repro.circuits import adder_task
+from repro.core import CircuitVAEOptimizer
+from repro.opt import aggregate_curves, run_method
+from repro.utils.rng import seed_sequence
+from repro.utils.tables import format_table
+
+from common import BITWIDTHS, BUDGET, SEEDS, once, vae_config
+
+BETAS = [0.0001, 0.01, 1.0]
+
+
+def run_beta_sweep():
+    task = adder_task(min(BITWIDTHS), 0.66)
+    seeds = seed_sequence(1, SEEDS)
+    finals = {}
+    for beta in BETAS:
+        cfg = vae_config()
+        cfg = replace(cfg, train=replace(cfg.train, beta=beta))
+        records = run_method(
+            lambda s, c=cfg: CircuitVAEOptimizer(c), task, BUDGET, seeds,
+            method_name=f"beta={beta}",
+        )
+        finals[beta] = float(aggregate_curves(records, [BUDGET])["median"][0])
+    return finals
+
+
+def test_ablation_beta(benchmark):
+    finals = once(benchmark, run_beta_sweep)
+    print()
+    print(format_table(
+        ["beta (KL weight)", "median best cost"],
+        [[f"{b}", f"{v:.3f}"] for b, v in finals.items()],
+    ))
+    # Check: the paper's beta is no worse than the extremes by more than noise.
+    assert finals[0.01] <= min(finals.values()) * 1.03, finals

@@ -1,0 +1,68 @@
+"""Synthesis-flow microbenchmarks and the classical-structure table.
+
+Times the black-box oracle itself (mapping + placement + buffering +
+sizing + STA) on classical structures — the cost the paper's "simulation
+budget" counts — and prints the area/delay/cost landscape those
+structures span, which is the backdrop for every optimization figure.
+"""
+
+import pytest
+
+from repro.prefix import STRUCTURES, make_structure
+from repro.synth import cost_from_metrics, nangate45, scaled_library, synthesize
+from repro.utils.tables import format_table
+
+from common import BITWIDTHS
+
+
+@pytest.mark.parametrize("name", sorted(STRUCTURES))
+def test_synthesize_throughput(benchmark, name):
+    """Time one full physical synthesis of each classical structure."""
+    lib = nangate45()
+    graph = make_structure(name, max(BITWIDTHS))
+    result = benchmark(lambda: synthesize(graph, lib))
+    assert result.delay_ns > 0
+
+
+def test_classical_landscape_table(benchmark):
+    """The human-baseline table: area/delay/cost of every structure."""
+    n = max(BITWIDTHS)
+
+    def build():
+        lib = nangate45()
+        rows = []
+        for name in sorted(STRUCTURES):
+            r = synthesize(make_structure(name, n), lib)
+            rows.append([
+                name, f"{r.area_um2:.1f}", f"{r.delay_ns:.3f}",
+                f"{cost_from_metrics(r.area_um2, r.delay_ns, 0.33):.3f}",
+                f"{cost_from_metrics(r.area_um2, r.delay_ns, 0.66):.3f}",
+                f"{cost_from_metrics(r.area_um2, r.delay_ns, 0.95):.3f}",
+            ])
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(f"classical structures at {n}-bit (Nangate45 flow)")
+    print(format_table(
+        ["structure", "area um2", "delay ns", "cost w=.33", "cost w=.66", "cost w=.95"],
+        rows,
+    ))
+
+
+def test_scaled_8nm_landscape(benchmark):
+    """Same table on the 8nm stand-in library (Fig. 6's technology)."""
+    n = max(BITWIDTHS)
+
+    def build():
+        lib = scaled_library("8nm")
+        return [
+            [name, f"{r.area_um2:.2f}", f"{r.delay_ns:.4f}"]
+            for name in sorted(STRUCTURES)
+            for r in [synthesize(make_structure(name, n), lib)]
+        ]
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    print()
+    print(f"classical structures at {n}-bit (scaled 8nm flow)")
+    print(format_table(["structure", "area um2", "delay ns"], rows))

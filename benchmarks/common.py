@@ -1,0 +1,76 @@
+"""Shared configuration for the figure/table benchmarks.
+
+Every bench regenerates one table or figure of the paper at a reduced
+default scale (bitwidths, budgets and seed counts are scaled so the whole
+suite runs on a laptop CPU in tens of minutes; the paper used an A100 plus
+a 24-core simulation farm per run).  Set ``REPRO_SCALE=paper`` to run the
+full-size grid — identical code, larger constants.
+
+The qualitative comparisons (who wins at a budget, by what factor) are
+scale-stable; EXPERIMENTS.md records measured-vs-paper numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict
+
+from repro.baselines import BOConfig, GAConfig, GeneticAlgorithm, LatentBO, PrefixRL, RandomSearch, RLConfig
+from repro.core import CircuitVAEConfig, CircuitVAEOptimizer, SearchConfig, TrainConfig
+
+SCALE = os.environ.get("REPRO_SCALE", "small")
+
+if SCALE == "paper":
+    BITWIDTHS = [32, 64]
+    GRAY_BITS = 26
+    REAL_BITS = 31
+    BUDGET = 5000
+    HIGH_BUDGET = 20000
+    SEEDS = 5
+    VAE_SIZES = dict(latent_dim=48, base_channels=16, hidden_dim=256)
+    INITIAL = 1000
+else:
+    BITWIDTHS = [8, 16]
+    GRAY_BITS = 13
+    REAL_BITS = 16
+    BUDGET = 140
+    HIGH_BUDGET = 180
+    SEEDS = 2
+    VAE_SIZES = dict(latent_dim=16, base_channels=6, hidden_dim=64)
+    INITIAL = 48
+
+DELAY_WEIGHTS = [0.33, 0.66, 0.95]
+
+
+def vae_config(**overrides) -> CircuitVAEConfig:
+    """The benchmark-scale CircuitVAE configuration."""
+    # Small acquisition batches (8 trajectories x 2 captures) buy more
+    # retraining rounds per budget — the right trade at bench budgets.
+    base = dict(
+        initial_samples=INITIAL,
+        first_round_epochs=25,
+        train=TrainConfig(epochs=10, batch_size=32),
+        search=SearchConfig(
+            num_parallel=8, num_steps=40, capture_every=20, step_size=0.15
+        ),
+        **VAE_SIZES,
+    )
+    base.update(overrides)
+    return CircuitVAEConfig(**base)
+
+
+def method_factories() -> Dict[str, Callable[[int], object]]:
+    """The four methods of Figs. 3/7 and Table 1 (paired per seed)."""
+    return {
+        "CircuitVAE": lambda seed: CircuitVAEOptimizer(vae_config()),
+        "GA": lambda seed: GeneticAlgorithm(GAConfig(population_size=24)),
+        "RL": lambda seed: PrefixRL(RLConfig(episode_length=16)),
+        "BO": lambda seed: LatentBO(
+            BOConfig(vae=vae_config(), batch_per_round=12, candidate_pool=256, gp_max_points=128)
+        ),
+    }
+
+
+def once(benchmark, fn):
+    """Run a whole experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,77 @@
+#!/usr/bin/env python
+"""Head-to-head comparison of CircuitVAE against GA, RL and BO.
+
+A miniature of the paper's Fig. 3 experiment: all four methods optimize
+the same adder task under the same simulation budget with paired seeds;
+the script prints the cost-vs-budget curves and the VAE speedup per
+competitor (the Table 1 statistic).
+
+Run:  python examples/compare_methods.py [--bits 12] [--budget 150] [--seeds 2]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.baselines import BOConfig, GAConfig, GeneticAlgorithm, LatentBO, PrefixRL, RLConfig
+from repro.circuits import adder_task
+from repro.core import CircuitVAEConfig, CircuitVAEOptimizer, SearchConfig, TrainConfig
+from repro.opt import aggregate_curves, median_iqr, run_comparison, vae_speedup
+from repro.utils.plotting import ascii_plot
+from repro.utils.tables import format_median_iqr, format_table
+
+
+def factories(budget: int):
+    vae_cfg = CircuitVAEConfig(
+        latent_dim=16, base_channels=6, hidden_dim=64,
+        initial_samples=min(48, budget // 3),
+        train=TrainConfig(epochs=8, batch_size=32),
+        search=SearchConfig(num_parallel=12, num_steps=30, capture_every=10),
+    )
+    return {
+        "CircuitVAE": lambda s: CircuitVAEOptimizer(vae_cfg),
+        "GA": lambda s: GeneticAlgorithm(GAConfig(population_size=20)),
+        "RL": lambda s: PrefixRL(RLConfig(episode_length=16)),
+        "BO": lambda s: LatentBO(BOConfig(vae=vae_cfg, batch_per_round=12)),
+    }
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bits", type=int, default=12)
+    parser.add_argument("--budget", type=int, default=150)
+    parser.add_argument("--omega", type=float, default=0.66)
+    parser.add_argument("--seeds", type=int, default=2)
+    args = parser.parse_args()
+
+    task = adder_task(args.bits, args.omega)
+    print(f"running 4 methods x {args.seeds} seeds on {task.name} "
+          f"(budget {args.budget}); this takes a few minutes...")
+    results = run_comparison(
+        factories(args.budget), task, budget=args.budget, num_seeds=args.seeds
+    )
+
+    budgets = list(range(args.budget // 8, args.budget + 1, args.budget // 8))
+    series = {
+        method: (budgets, aggregate_curves(records, budgets)["median"].tolist())
+        for method, records in results.items()
+    }
+    print()
+    print(ascii_plot(series, title="median best cost vs simulations",
+                     xlabel="simulations", ylabel="cost"))
+
+    rows = []
+    vae_records = results["CircuitVAE"]
+    for method, records in results.items():
+        best = median_iqr([r.best_cost() for r in records])
+        speedup = (
+            "-" if method == "CircuitVAE"
+            else format_median_iqr(*median_iqr(vae_speedup(vae_records, records)))
+        )
+        rows.append([method, format_median_iqr(*best, digits=3), speedup])
+    print()
+    print(format_table(["method", "best cost (median, IQR)", "VAE speedup"], rows))
+
+
+if __name__ == "__main__":
+    main()

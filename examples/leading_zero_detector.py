@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""Leading-zero detector design — the paper's suggested extension.
+
+The conclusion of the paper claims CircuitVAE "may be applied unchanged to
+optimize other prefix computations, such as leading zero detectors."  This
+example does exactly that: the associative operator becomes OR, the cell
+mapping emits an OR prefix network plus a one-hot output stage, and the
+optimizer code is untouched.  Model health is checked with the latent
+diagnostics before trusting the result.
+
+Run:  python examples/leading_zero_detector.py [--bits 12] [--budget 120]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.circuits import lzd_task
+from repro.core import (
+    CircuitVAEConfig,
+    CircuitVAEOptimizer,
+    SearchConfig,
+    TrainConfig,
+    diagnose,
+)
+from repro.opt import CircuitSimulator
+from repro.prefix import STRUCTURES, check_leading_zeros
+from repro.utils.plotting import render_prefix_graph
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--bits", type=int, default=12)
+    parser.add_argument("--budget", type=int, default=120)
+    parser.add_argument("--omega", type=float, default=0.6)
+    args = parser.parse_args()
+
+    task = lzd_task(n=args.bits, delay_weight=args.omega)
+    simulator = CircuitSimulator(task, budget=args.budget)
+    optimizer = CircuitVAEOptimizer(
+        CircuitVAEConfig(
+            latent_dim=16, base_channels=6, hidden_dim=64,
+            initial_samples=min(48, args.budget // 3),
+            train=TrainConfig(epochs=10, batch_size=32),
+            search=SearchConfig(num_parallel=8, num_steps=40, capture_every=20),
+        )
+    )
+    print(f"designing a {args.bits}-bit leading-zero detector "
+          f"(omega={args.omega}, budget={args.budget})...")
+    best = optimizer.run(simulator, np.random.default_rng(0))
+
+    assert check_leading_zeros(best.graph, np.random.default_rng(1)), (
+        "discovered circuit does not count leading zeros!"
+    )
+    diag = diagnose(optimizer.model, optimizer.dataset)
+    print(f"model diagnostics: recon acc {diag.reconstruction_accuracy:.2f}, "
+          f"cost rank-corr {diag.cost_rank_correlation:.2f}, "
+          f"active latent dims {diag.latent_dim_active}")
+
+    rows = []
+    for name, builder in sorted(STRUCTURES.items()):
+        result = task.synthesize(builder(args.bits))
+        rows.append([name, f"{result.area_um2:.1f}", f"{result.delay_ns:.3f}",
+                     f"{task.cost(result):.3f}"])
+    rows.append(["**CircuitVAE**", f"{best.area_um2:.1f}", f"{best.delay_ns:.3f}",
+                 f"{best.cost:.3f}"])
+    print()
+    print(format_table(["design", "area um2", "delay ns", "cost"], rows))
+    print()
+    print(render_prefix_graph(best.graph, label="discovered OR-prefix network"))
+
+
+if __name__ == "__main__":
+    main()

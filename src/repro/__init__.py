@@ -1,0 +1,39 @@
+"""CircuitVAE: Efficient and Scalable Latent Circuit Optimization — a
+complete, from-scratch reproduction of the DAC 2024 paper.
+
+Subpackages
+-----------
+``repro.nn``
+    Numpy autograd + neural-network substrate (PyTorch stand-in).
+``repro.prefix``
+    Prefix-graph circuit representation, legalization, verification.
+``repro.synth``
+    Physical-synthesis flow: cell libraries, mapping, STA, sizing.
+``repro.circuits``
+    Concrete design tasks (adders, gray-to-binary).
+``repro.opt``
+    Simulator facade, budgets, experiment harness, run statistics.
+``repro.core``
+    The CircuitVAE model and Algorithm 1.
+``repro.baselines``
+    GA, PrefixRL-style RL, latent Bayesian optimization, random search.
+``repro.utils``
+    Deterministic RNG helpers, ASCII plotting, table formatting.
+
+Quickstart
+----------
+>>> from repro.circuits import adder_task
+>>> from repro.core import CircuitVAEOptimizer
+>>> from repro.opt import CircuitSimulator
+>>> import numpy as np
+>>> task = adder_task(n=16, delay_weight=0.66)
+>>> sim = CircuitSimulator(task, budget=200)
+>>> best = CircuitVAEOptimizer().run(sim, np.random.default_rng(0))
+>>> best.cost  # doctest: +SKIP
+"""
+
+__version__ = "1.0.0"
+
+from . import nn  # noqa: F401  (import order: nn has no repro-internal deps)
+
+__all__ = ["nn", "__version__"]

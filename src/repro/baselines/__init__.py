@@ -1,0 +1,24 @@
+"""``repro.baselines`` — the search algorithms the paper compares against."""
+
+from .bo import BOConfig, LatentBO
+from .ga import GAConfig, GeneticAlgorithm
+from .gp import GaussianProcess, expected_improvement, median_lengthscale, rbf_kernel
+from .random_search import RandomSearch, RandomSearchConfig
+from .rl import PrefixEnv, PrefixRL, QNetwork, RLConfig
+
+__all__ = [
+    "GeneticAlgorithm",
+    "GAConfig",
+    "PrefixRL",
+    "PrefixEnv",
+    "QNetwork",
+    "RLConfig",
+    "LatentBO",
+    "BOConfig",
+    "GaussianProcess",
+    "rbf_kernel",
+    "median_lengthscale",
+    "expected_improvement",
+    "RandomSearch",
+    "RandomSearchConfig",
+]

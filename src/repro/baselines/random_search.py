@@ -1,0 +1,56 @@
+"""Random-search baseline (sanity floor, not in the paper's figures).
+
+Cost-weighted mutate-and-evaluate without any learned model: sample an
+incumbent by Eq.-2 weight, mutate it, synthesize.  Any method that cannot
+beat this is not learning anything; the test suite uses it as the
+reference floor for CircuitVAE's sample-efficiency assertions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..core.dataset import CircuitDataset
+from ..opt.optimizer import SearchAlgorithm
+from ..opt.simulator import BudgetExhausted, CircuitSimulator, Evaluation
+from ..opt.variation import mutate, random_population
+from ..prefix.structures import STRUCTURES
+
+__all__ = ["RandomSearchConfig", "RandomSearch"]
+
+
+@dataclass(frozen=True)
+class RandomSearchConfig:
+    mutation_rate: float = 0.03
+    k: float = 1e-3  # rank-weight temperature for incumbent sampling
+    random_fraction: float = 0.1  # fraction of fully random proposals
+
+
+class RandomSearch(SearchAlgorithm):
+    """Weighted mutate-and-evaluate hill climbing with restarts."""
+
+    method_name = "Random"
+
+    def __init__(self, config: Optional[RandomSearchConfig] = None):
+        self.config = config or RandomSearchConfig()
+
+    def run(self, simulator: CircuitSimulator, rng: np.random.Generator) -> Evaluation:
+        config = self.config
+        n = simulator.task.n
+        dataset = CircuitDataset(k=config.k)
+        try:
+            for builder in STRUCTURES.values():
+                dataset.add_evaluations([simulator.query(builder(n))])
+            while not simulator.exhausted():
+                if rng.random() < config.random_fraction:
+                    proposal = random_population(n, 1, rng)[0]
+                else:
+                    idx = rng.choice(len(dataset), p=dataset.weights())
+                    proposal = mutate(dataset.graphs[idx], rng, config.mutation_rate)
+                dataset.add_evaluations([simulator.query(proposal)])
+        except BudgetExhausted:
+            pass
+        return simulator.best()

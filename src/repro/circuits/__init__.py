@@ -1,0 +1,15 @@
+"""``repro.circuits`` — concrete design tasks from the paper's evaluation."""
+
+from .adder import adder_task, datapath_io_timing, realistic_adder_task
+from .gray import gray_to_binary_task
+from .lzd import lzd_task
+from .task import CircuitTask
+
+__all__ = [
+    "CircuitTask",
+    "adder_task",
+    "datapath_io_timing",
+    "realistic_adder_task",
+    "gray_to_binary_task",
+    "lzd_task",
+]

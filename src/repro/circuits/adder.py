@@ -1,0 +1,79 @@
+"""Binary adder design tasks (the paper's main workload).
+
+Includes the standard-benchmark tasks of Sec. 5.2 (uniform IO timing,
+Nangate45) and the realistic datapath tasks of Sec. 5.4 (31-bit adders, a
+scaled "8 nm" library, and nonuniform bit arrival/required profiles
+"captured from a complete datapath").
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..synth.library import nangate45, scaled_library
+from ..synth.timing import IOTiming
+from .task import CircuitTask
+
+__all__ = ["adder_task", "datapath_io_timing", "realistic_adder_task"]
+
+
+def adder_task(n: int, delay_weight: float, library=None) -> CircuitTask:
+    """Standard benchmark task: n-bit adder, uniform IO timing."""
+    return CircuitTask(
+        name=f"adder{n}@w{delay_weight}",
+        n=n,
+        delay_weight=delay_weight,
+        circuit_type="adder",
+        library=library if library is not None else nangate45(),
+    )
+
+
+def datapath_io_timing(n: int, profile: str = "late-msb", skew_ns: float = 0.15) -> IOTiming:
+    """Per-bit timing profiles emulating a surrounding datapath.
+
+    In a real datapath the adder's operands arrive from upstream logic with
+    bit-dependent skew, and downstream consumers need some bits earlier
+    than others.  Three captured-profile shapes are provided:
+
+    * ``late-msb`` — high-order input bits arrive later (typical when
+      operands come out of a multiplier array), and low-order outputs are
+      needed sooner.
+    * ``late-lsb`` — the mirror image (e.g. after a right-shifter).
+    * ``bowl`` — middle bits late on input, ends early on output.
+
+    ``skew_ns`` is the total arrival spread across the bits.
+    """
+    bits = np.arange(n) / max(n - 1, 1)
+    if profile == "late-msb":
+        arrival = bits * skew_ns
+        margin = bits * skew_ns * 0.5
+    elif profile == "late-lsb":
+        arrival = (1.0 - bits) * skew_ns
+        margin = (1.0 - bits) * skew_ns * 0.5
+    elif profile == "bowl":
+        arrival = (1.0 - np.abs(2 * bits - 1.0)) * skew_ns
+        margin = np.abs(2 * bits - 1.0) * skew_ns * 0.25
+    else:
+        raise ValueError(f"unknown profile {profile!r}")
+    input_arrival = {}
+    output_margin = {}
+    for i in range(n):
+        input_arrival[f"a[{i}]"] = float(arrival[i])
+        input_arrival[f"b[{i}]"] = float(arrival[i])
+        output_margin[f"s[{i}]"] = float(margin[i])
+    output_margin["cout"] = float(margin[-1])
+    return IOTiming(input_arrival=input_arrival, output_margin=output_margin)
+
+
+def realistic_adder_task(
+    n: int = 31, delay_weight: float = 0.6, profile: str = "late-msb"
+) -> CircuitTask:
+    """The Sec. 5.4 setting: scaled-8nm library + datapath IO timings."""
+    return CircuitTask(
+        name=f"realistic-adder{n}@w{delay_weight}",
+        n=n,
+        delay_weight=delay_weight,
+        circuit_type="adder",
+        library=scaled_library("8nm"),
+        io_timing=datapath_io_timing(n, profile=profile),
+    )

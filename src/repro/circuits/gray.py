@@ -1,0 +1,27 @@
+"""Gray-to-binary converter task (paper Sec. 5.5).
+
+A gray-to-binary converter is a parallel prefix circuit whose associative
+operator is XOR: binary bit ``i`` is the XOR of gray bits ``i..n-1``.  The
+paper designs a 26-bit converter at omega = 0.6 on Nangate45 to showcase
+the framework's generality — the *same* CircuitVAE machinery optimizes it,
+only the cell mapping changes (see
+:func:`repro.synth.mapping.map_gray_to_binary`).
+"""
+
+from __future__ import annotations
+
+from ..synth.library import nangate45
+from .task import CircuitTask
+
+__all__ = ["gray_to_binary_task"]
+
+
+def gray_to_binary_task(n: int = 26, delay_weight: float = 0.6, library=None) -> CircuitTask:
+    """The Sec. 5.5 task (default 26-bit, omega=0.6, Nangate45)."""
+    return CircuitTask(
+        name=f"gray{n}@w{delay_weight}",
+        n=n,
+        delay_weight=delay_weight,
+        circuit_type="gray",
+        library=library if library is not None else nangate45(),
+    )

@@ -1,0 +1,28 @@
+"""Leading-zero detector task (the paper's suggested extension).
+
+The conclusion of the paper: "Our method may be applied unchanged to
+optimize other prefix computations, such as leading zero detectors."
+This module takes that up: an LZD is a parallel prefix circuit whose
+associative operator is OR (monotone "seen a one yet" flags, msb-first),
+mapped by :func:`repro.synth.mapping.map_leading_zero_detector` to an OR
+prefix network plus a one-hot output stage.  The optimizer, baselines,
+benches and verification all apply without modification.
+"""
+
+from __future__ import annotations
+
+from ..synth.library import nangate45
+from .task import CircuitTask
+
+__all__ = ["lzd_task"]
+
+
+def lzd_task(n: int = 16, delay_weight: float = 0.6, library=None) -> CircuitTask:
+    """An n-bit leading-zero detector design task."""
+    return CircuitTask(
+        name=f"lzd{n}@w{delay_weight}",
+        n=n,
+        delay_weight=delay_weight,
+        circuit_type="lzd",
+        library=library if library is not None else nangate45(),
+    )

@@ -1,0 +1,65 @@
+"""Circuit design tasks: what the optimizer is asked to build.
+
+A :class:`CircuitTask` bundles everything that defines one optimization
+problem from the paper's experiment grid: circuit type (adder or
+gray-to-binary), bitwidth, cell library, IO timing environment and the
+delay weight omega.  The simulator facade in :mod:`repro.opt.simulator`
+turns a task into a black-box cost oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from ..prefix.graph import PrefixGraph
+from ..synth.cost import cost_from_metrics
+from ..synth.library import CellLibrary, nangate45
+from ..synth.physical import PhysicalResult, SynthesisOptions, synthesize
+from ..synth.timing import IOTiming
+
+__all__ = ["CircuitTask"]
+
+
+@dataclass(frozen=True)
+class CircuitTask:
+    """One black-box circuit optimization problem.
+
+    Parameters mirror the paper's experiment axes (Sec. 3, 5.2): ``n`` is
+    the bitwidth, ``delay_weight`` is omega, ``circuit_type`` selects the
+    cell mapping ('adder' or 'gray').
+    """
+
+    name: str
+    n: int
+    delay_weight: float
+    circuit_type: str = "adder"
+    library: CellLibrary = field(default_factory=nangate45)
+    io_timing: IOTiming = field(default_factory=IOTiming)
+    options: SynthesisOptions = field(default_factory=SynthesisOptions)
+
+    def __post_init__(self):
+        if self.n < 2:
+            raise ValueError("tasks need at least 2 bits")
+        if self.circuit_type not in ("adder", "gray", "lzd"):
+            raise ValueError(f"unknown circuit type {self.circuit_type!r}")
+        if not 0.0 <= self.delay_weight <= 1.0:
+            raise ValueError("delay_weight must be in [0, 1]")
+
+    def synthesize(self, graph: PrefixGraph) -> PhysicalResult:
+        """Run the physical flow on one legal graph."""
+        if graph.n != self.n:
+            raise ValueError(f"graph width {graph.n} != task width {self.n}")
+        return synthesize(
+            graph, self.library, self.circuit_type, self.io_timing, self.options
+        )
+
+    def cost(self, result: PhysicalResult) -> float:
+        """Scalar cost of a synthesis result under this task's omega."""
+        return cost_from_metrics(result.area_um2, result.delay_ns, self.delay_weight)
+
+    def with_delay_weight(self, delay_weight: float) -> "CircuitTask":
+        """Same task at a different omega (used by the omega sweeps)."""
+        return replace(
+            self, delay_weight=delay_weight, name=f"{self.name.split('@')[0]}@w{delay_weight}"
+        )

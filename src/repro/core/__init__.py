@@ -1,0 +1,29 @@
+"""``repro.core`` — the CircuitVAE algorithm (the paper's contribution)."""
+
+from .algorithm import CircuitVAEConfig, CircuitVAEOptimizer, build_initial_dataset
+from .analysis import LatentDiagnostics, cost_rank_correlation, diagnose, reconstruction_accuracy
+from .dataset import CircuitDataset, rank_weights
+from .search import SearchConfig, SearchTrace, initialize_latents, latent_gradient_search
+from .training import TrainConfig, TrainStats, train_model
+from .vae import CircuitVAEModel, VAEConfig
+
+__all__ = [
+    "CircuitVAEModel",
+    "LatentDiagnostics",
+    "diagnose",
+    "reconstruction_accuracy",
+    "cost_rank_correlation",
+    "VAEConfig",
+    "CircuitDataset",
+    "rank_weights",
+    "TrainConfig",
+    "TrainStats",
+    "train_model",
+    "SearchConfig",
+    "SearchTrace",
+    "initialize_latents",
+    "latent_gradient_search",
+    "CircuitVAEConfig",
+    "CircuitVAEOptimizer",
+    "build_initial_dataset",
+]

@@ -1,0 +1,124 @@
+"""The evolving dataset D of (circuit, cost) pairs with rank reweighting.
+
+Implements Eq. 2 of the paper (the weighted-retraining scheme of Tripp et
+al.): the weight of datapoint (x, c) is
+
+    w(x; D, k)  proportional to  1 / (k * |D| + rank_D(x)),
+    rank_D(x) = |{x_i : c_i < c}|,
+
+so low-cost circuits get more training volume in latent space.  Weights
+depend on the whole dataset and are recomputed after every acquisition
+round.  The same weights drive cost-weighted sampling of search starting
+points (Sec. 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..opt.simulator import Evaluation
+from ..prefix.graph import PrefixGraph
+
+__all__ = ["rank_weights", "CircuitDataset"]
+
+
+def rank_weights(costs: np.ndarray, k: float) -> np.ndarray:
+    """Normalized Eq.-2 weights for a cost vector.
+
+    Ties share the rank of their first occurrence (|{c_i < c}| counts
+    *strictly* better points, per the paper), so duplicated costs receive
+    identical weights.
+    """
+    costs = np.asarray(costs, dtype=np.float64)
+    n = len(costs)
+    if n == 0:
+        return np.zeros(0)
+    if k <= 0:
+        raise ValueError("k must be positive")
+    order = np.argsort(costs, kind="stable")
+    sorted_costs = costs[order]
+    # rank of each sorted element = index of the first equal-cost element.
+    first_occurrence = np.searchsorted(sorted_costs, sorted_costs, side="left")
+    ranks = np.empty(n, dtype=np.float64)
+    ranks[order] = first_occurrence
+    weights = 1.0 / (k * n + ranks)
+    return weights / weights.sum()
+
+
+class CircuitDataset:
+    """Deduplicated collection of evaluated circuits.
+
+    Deduplication is by canonical graph key: the simulator already
+    legalizes, so two encodings of one circuit never inflate the dataset.
+    """
+
+    def __init__(self, k: float = 1e-3):
+        self.k = k
+        self.graphs: List[PrefixGraph] = []
+        self.costs_list: List[float] = []
+        self._keys: Dict[bytes, int] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, graph: PrefixGraph, cost: float) -> bool:
+        """Insert one datapoint; returns False if it was already present."""
+        key = graph.key()
+        if key in self._keys:
+            return False
+        self._keys[key] = len(self.graphs)
+        self.graphs.append(graph)
+        self.costs_list.append(float(cost))
+        return True
+
+    def add_evaluations(self, evaluations: Iterable[Evaluation]) -> int:
+        """Insert a batch of simulator evaluations; returns #new points."""
+        return sum(self.add(e.graph, e.cost) for e in evaluations)
+
+    def __len__(self) -> int:
+        return len(self.graphs)
+
+    def __contains__(self, graph: PrefixGraph) -> bool:
+        return graph.key() in self._keys
+
+    # ------------------------------------------------------------------
+    @property
+    def costs(self) -> np.ndarray:
+        return np.asarray(self.costs_list, dtype=np.float64)
+
+    def weights(self) -> np.ndarray:
+        """Current Eq.-2 weights (recomputed from scratch each call)."""
+        return rank_weights(self.costs, self.k)
+
+    def uniform_weights(self) -> np.ndarray:
+        """Ablation: the no-reweighting distribution (Fig. 4)."""
+        n = len(self)
+        return np.full(n, 1.0 / n) if n else np.zeros(0)
+
+    def sample_indices(
+        self, m: int, rng: np.random.Generator, weighted: bool = True
+    ) -> np.ndarray:
+        """Sample ``m`` datapoint indices (with replacement) by weight."""
+        if len(self) == 0:
+            raise ValueError("cannot sample from an empty dataset")
+        p = self.weights() if weighted else self.uniform_weights()
+        return rng.choice(len(self), size=m, replace=True, p=p)
+
+    def grids(self, indices: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Stacked (B, N, N) float grids for the VAE."""
+        if indices is None:
+            indices = range(len(self))
+        return np.stack([self.graphs[i].grid.astype(np.float64) for i in indices])
+
+    def best(self) -> Tuple[PrefixGraph, float]:
+        """(graph, cost) of the lowest-cost datapoint."""
+        if not self.graphs:
+            raise ValueError("dataset is empty")
+        idx = int(np.argmin(self.costs))
+        return self.graphs[idx], self.costs_list[idx]
+
+    def cost_normalizer(self) -> Tuple[float, float]:
+        """(mean, std) of costs, used to standardize the cost-head target."""
+        costs = self.costs
+        std = float(costs.std())
+        return float(costs.mean()), std if std > 1e-9 else 1.0

@@ -1,0 +1,71 @@
+"""Loss functions for CircuitVAE training.
+
+The model's training objective (paper Eq. 3) combines three terms, all
+implemented here on top of :mod:`repro.nn.functional`:
+
+* Bernoulli reconstruction likelihood of the prefix-graph grid
+  (:func:`reconstruction_loss`),
+* the beta-weighted KL to the unit-Gaussian prior (:func:`kl_loss`),
+* squared error of the cost predictor (:func:`cost_prediction_loss`).
+
+Each supports per-sample weights so the weighted-retraining scheme of
+Tripp et al. (Eq. 2) plugs in directly.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from . import functional as F
+from .tensor import Tensor
+
+__all__ = ["reconstruction_loss", "kl_loss", "cost_prediction_loss", "weighted_mean"]
+
+
+def weighted_mean(per_sample: Tensor, weights: Optional[np.ndarray]) -> Tensor:
+    """Average per-sample losses under normalized ``weights``.
+
+    With ``weights=None`` this is a plain mean.  Weights are normalized to
+    sum to 1, so the loss scale is independent of batch size — important
+    because the rank weights of Eq. 2 vary over retraining rounds.
+    """
+    if weights is None:
+        return per_sample.mean()
+    w = np.asarray(weights, dtype=np.float64)
+    if w.shape[0] != per_sample.shape[0]:
+        raise ValueError(f"weights length {w.shape[0]} != batch {per_sample.shape[0]}")
+    total = w.sum()
+    if total <= 0:
+        raise ValueError("weights must have positive sum")
+    return (per_sample * Tensor(w / total)).sum()
+
+
+def reconstruction_loss(
+    logits: Tensor, target_grid: Tensor, weights: Optional[np.ndarray] = None
+) -> Tensor:
+    """Negative Bernoulli log-likelihood of the decoded grid, per sample.
+
+    ``logits`` and ``target_grid`` have shape (B, N, N) (or (B, ...)); the
+    log-likelihood is summed over grid cells, matching the ELBO's
+    ``log p(x|z)`` term, then weighted-averaged over the batch.
+    """
+    per_cell = F.binary_cross_entropy_with_logits(logits, target_grid, reduction="none")
+    per_sample = per_cell.reshape(per_cell.shape[0], -1).sum(axis=1)
+    return weighted_mean(per_sample, weights)
+
+
+def kl_loss(mu: Tensor, logvar: Tensor, weights: Optional[np.ndarray] = None) -> Tensor:
+    """KL(q(z|x) || N(0,I)) summed over latent dims, weighted over batch."""
+    per_sample = F.gaussian_kl(mu, logvar, reduction="none")
+    return weighted_mean(per_sample, weights)
+
+
+def cost_prediction_loss(
+    predicted: Tensor, actual: np.ndarray, weights: Optional[np.ndarray] = None
+) -> Tensor:
+    """Squared-error loss of the cost head, L_pi = (f_pi(z) - c)^2."""
+    target = Tensor(np.asarray(actual, dtype=np.float64).reshape(-1))
+    diff = predicted.reshape(-1) - target
+    return weighted_mean(diff * diff, weights)

@@ -1,0 +1,151 @@
+"""First-order optimizers and learning-rate schedules.
+
+The paper trains CircuitVAE with Adam (Sec. 4.1); :class:`Adam` here is a
+faithful numpy implementation, and :class:`SGD` is kept for tests and
+ablations.  Both operate in-place on the ``.data`` buffers of parameter
+tensors, reading gradients from ``.grad``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from .tensor import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm", "CosineSchedule", "StepSchedule"]
+
+
+class Optimizer:
+    """Base optimizer holding a parameter list."""
+
+    def __init__(self, params: Iterable[Tensor]):
+        self.params: List[Tensor] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received no parameters")
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum and weight decay."""
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, vel in zip(self.params, self._velocity):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            if self.momentum:
+                vel *= self.momentum
+                vel += grad
+                grad = vel
+            p.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2014) with bias correction."""
+
+    def __init__(
+        self,
+        params: Iterable[Tensor],
+        lr: float = 1e-3,
+        betas: Sequence[float] = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        super().__init__(params)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self._step_count += 1
+        bias1 = 1.0 - self.beta1 ** self._step_count
+        bias2 = 1.0 - self.beta2 ** self._step_count
+        for p, m, v in zip(self.params, self._m, self._v):
+            if p.grad is None:
+                continue
+            grad = p.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * p.data
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+def clip_grad_norm(params: Iterable[Tensor], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm, which callers often log to detect
+    training instability.
+    """
+    params = [p for p in params if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in params)))
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        for p in params:
+            p.grad *= scale
+    return total
+
+
+class CosineSchedule:
+    """Cosine-annealed learning rate from ``lr_max`` down to ``lr_min``."""
+
+    def __init__(self, optimizer: Optimizer, total_steps: int, lr_min: float = 0.0):
+        self.optimizer = optimizer
+        self.lr_max = optimizer.lr
+        self.lr_min = lr_min
+        self.total_steps = max(total_steps, 1)
+        self._t = 0
+
+    def step(self) -> float:
+        self._t = min(self._t + 1, self.total_steps)
+        frac = self._t / self.total_steps
+        lr = self.lr_min + 0.5 * (self.lr_max - self.lr_min) * (1 + np.cos(np.pi * frac))
+        self.optimizer.lr = lr
+        return lr
+
+
+class StepSchedule:
+    """Multiply the learning rate by ``gamma`` every ``step_size`` steps."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int, gamma: float = 0.5):
+        self.optimizer = optimizer
+        self.step_size = step_size
+        self.gamma = gamma
+        self._t = 0
+
+    def step(self) -> float:
+        self._t += 1
+        if self._t % self.step_size == 0:
+            self.optimizer.lr *= self.gamma
+        return self.optimizer.lr

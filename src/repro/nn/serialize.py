@@ -1,0 +1,34 @@
+"""Save/load model parameters as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from .layers import Module
+
+__all__ = ["save_module", "load_module", "save_state", "load_state"]
+
+
+def save_state(state: Dict[str, np.ndarray], path: str) -> None:
+    """Write a parameter dict to ``path`` (npz).  Keys may contain dots."""
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    np.savez(path, **state)
+
+
+def load_state(path: str) -> Dict[str, np.ndarray]:
+    with np.load(path) as archive:
+        return {key: archive[key] for key in archive.files}
+
+
+def save_module(module: Module, path: str) -> None:
+    """Persist a module's parameters."""
+    save_state(module.state_dict(), path)
+
+
+def load_module(module: Module, path: str) -> Module:
+    """Load parameters into ``module`` in place and return it."""
+    module.load_state_dict(load_state(path))
+    return module

@@ -1,0 +1,520 @@
+"""Reverse-mode automatic differentiation on numpy arrays.
+
+This module is the foundation of :mod:`repro.nn`, the from-scratch neural
+network substrate used by the CircuitVAE reproduction (the paper used
+PyTorch, which is unavailable offline; see DESIGN.md).
+
+The design is a classic define-by-run tape:
+
+* :class:`Tensor` wraps an ``np.ndarray`` plus an optional gradient buffer.
+* Every differentiable operation records a backward closure and its parent
+  tensors; :meth:`Tensor.backward` topologically sorts the tape and runs the
+  closures in reverse.
+* Broadcasting is supported everywhere; gradients are un-broadcast (summed)
+  back to each parent's shape.
+
+Only float64/float32 tensors participate in autograd.  The engine is
+deliberately minimal but complete enough to train CNN/MLP VAEs with Adam:
+elementwise math, matmul, reductions, shape manipulation, indexing and
+concatenation all propagate gradients.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+Arrayish = Union["Tensor", np.ndarray, float, int]
+
+__all__ = ["Tensor", "tensor", "zeros", "ones", "randn", "no_grad", "is_grad_enabled"]
+
+
+class _GradMode:
+    """Global switch for gradient recording (see :func:`no_grad`)."""
+
+    enabled: bool = True
+
+
+class no_grad:
+    """Context manager disabling graph construction, like ``torch.no_grad``.
+
+    Useful during latent-space *search*, where we differentiate w.r.t. the
+    latent input but evaluate helper quantities without growing the tape.
+    """
+
+    def __enter__(self) -> "no_grad":
+        self._prev = _GradMode.enabled
+        _GradMode.enabled = False
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _GradMode.enabled = self._prev
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record gradients."""
+    return _GradMode.enabled
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading axes added by broadcasting.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over axes that were 1 in the original shape.
+    axes = tuple(i for i, s in enumerate(shape) if s == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+def _as_array(value: Arrayish, dtype=np.float64) -> np.ndarray:
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=dtype)
+
+
+class Tensor:
+    """A numpy array with reverse-mode autodiff support.
+
+    Parameters
+    ----------
+    data:
+        Array (or nested sequence / scalar) holding the values.
+    requires_grad:
+        If True, gradients are accumulated into :attr:`grad` on
+        :meth:`backward`.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+
+    def __init__(self, data, requires_grad: bool = False, name: str = ""):
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data: np.ndarray = np.asarray(data, dtype=np.float64)
+        self.requires_grad: bool = bool(requires_grad) and _GradMode.enabled
+        self.grad: Optional[np.ndarray] = None
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def dtype(self):
+        return self.data.dtype
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor({np.array2string(self.data, precision=4, threshold=8)}{grad_flag})"
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------
+    # Graph construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        out = Tensor(data)
+        if _GradMode.enabled and any(p.requires_grad for p in parents):
+            out.requires_grad = True
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded tape."""
+        if not self.requires_grad:
+            raise RuntimeError("backward() called on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar outputs")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        # Topological sort (iterative DFS to survive deep graphs).
+        order: List[Tensor] = []
+        visited = set()
+        stack: List[Tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in visited:
+                continue
+            visited.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in visited:
+                    stack.append((parent, False))
+
+        grads: dict = {id(self): grad}
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None:
+                continue
+            if node.requires_grad and node._backward is None:
+                # Leaf tensor: accumulate into .grad.
+                node._accumulate(node_grad)
+            if node._backward is not None:
+                node._push_parent_grads(node_grad, grads)
+
+    def _push_parent_grads(self, grad: np.ndarray, grads: dict) -> None:
+        parent_grads = self._backward(grad)
+        if parent_grads is None:
+            return
+        for parent, pgrad in zip(self._parents, parent_grads):
+            if pgrad is None or not parent.requires_grad:
+                continue
+            pgrad = _unbroadcast(np.asarray(pgrad, dtype=np.float64), parent.data.shape)
+            key = id(parent)
+            if key in grads:
+                grads[key] = grads[key] + pgrad
+            else:
+                grads[key] = pgrad
+
+    # ------------------------------------------------------------------
+    # Elementwise arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: Arrayish) -> "Tensor":
+        other_t = _ensure_tensor(other)
+        data = self.data + other_t.data
+        return Tensor._make(data, (self, other_t), lambda g: (g, g))
+
+    __radd__ = __add__
+
+    def __sub__(self, other: Arrayish) -> "Tensor":
+        other_t = _ensure_tensor(other)
+        data = self.data - other_t.data
+        return Tensor._make(data, (self, other_t), lambda g: (g, -g))
+
+    def __rsub__(self, other: Arrayish) -> "Tensor":
+        return _ensure_tensor(other).__sub__(self)
+
+    def __mul__(self, other: Arrayish) -> "Tensor":
+        other_t = _ensure_tensor(other)
+        data = self.data * other_t.data
+        a, b = self.data, other_t.data
+        return Tensor._make(data, (self, other_t), lambda g: (g * b, g * a))
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: Arrayish) -> "Tensor":
+        other_t = _ensure_tensor(other)
+        data = self.data / other_t.data
+        a, b = self.data, other_t.data
+        return Tensor._make(data, (self, other_t), lambda g: (g / b, -g * a / (b * b)))
+
+    def __rtruediv__(self, other: Arrayish) -> "Tensor":
+        return _ensure_tensor(other).__truediv__(self)
+
+    def __neg__(self) -> "Tensor":
+        return Tensor._make(-self.data, (self,), lambda g: (-g,))
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        data = self.data ** exponent
+        base = self.data
+        return Tensor._make(
+            data, (self,), lambda g: (g * exponent * base ** (exponent - 1),)
+        )
+
+    # Comparison operators return plain boolean arrays (no gradient).
+    def __gt__(self, other: Arrayish) -> np.ndarray:
+        return self.data > _as_array(other)
+
+    def __lt__(self, other: Arrayish) -> np.ndarray:
+        return self.data < _as_array(other)
+
+    def __ge__(self, other: Arrayish) -> np.ndarray:
+        return self.data >= _as_array(other)
+
+    def __le__(self, other: Arrayish) -> np.ndarray:
+        return self.data <= _as_array(other)
+
+    # ------------------------------------------------------------------
+    # Elementwise functions
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        data = np.exp(self.data)
+        return Tensor._make(data, (self,), lambda g: (g * data,))
+
+    def log(self) -> "Tensor":
+        base = self.data
+        return Tensor._make(np.log(base), (self,), lambda g: (g / base,))
+
+    def sqrt(self) -> "Tensor":
+        data = np.sqrt(self.data)
+        return Tensor._make(data, (self,), lambda g: (g * 0.5 / data,))
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+        return Tensor._make(np.abs(self.data), (self,), lambda g: (g * sign,))
+
+    def tanh(self) -> "Tensor":
+        data = np.tanh(self.data)
+        return Tensor._make(data, (self,), lambda g: (g * (1.0 - data * data),))
+
+    def sigmoid(self) -> "Tensor":
+        data = _stable_sigmoid(self.data)
+        return Tensor._make(data, (self,), lambda g: (g * data * (1.0 - data),))
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+        return Tensor._make(self.data * mask, (self,), lambda g: (g * mask,))
+
+    def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
+        mask = np.where(self.data > 0, 1.0, negative_slope)
+        return Tensor._make(self.data * mask, (self,), lambda g: (g * mask,))
+
+    def softplus(self) -> "Tensor":
+        # log(1 + exp(x)), numerically stable.
+        data = np.logaddexp(0.0, self.data)
+        sig = _stable_sigmoid(self.data)
+        return Tensor._make(data, (self,), lambda g: (g * sig,))
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        mask = (self.data >= low) & (self.data <= high)
+        return Tensor._make(np.clip(self.data, low, high), (self,), lambda g: (g * mask,))
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.sum(axis=axis, keepdims=keepdims)
+        shape = self.data.shape
+
+        def backward(g: np.ndarray):
+            grad = g
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis=axis)
+            return (np.broadcast_to(grad, shape).copy(),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        else:
+            axes = (axis,) if isinstance(axis, int) else tuple(axis)
+            count = int(np.prod([self.data.shape[a] for a in axes]))
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        data = self.data.max(axis=axis, keepdims=keepdims)
+        shape = self.data.shape
+
+        def backward(g: np.ndarray):
+            grad = g
+            full = data
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis=axis)
+                full = np.expand_dims(data, axis=axis)
+            mask = (self.data == full).astype(np.float64)
+            # Split gradient evenly among ties, matching subgradient convention.
+            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+            return ((mask / counts) * grad * np.ones(shape),)
+
+        return Tensor._make(data, (self,), backward)
+
+    def var(self, axis=None, keepdims: bool = False) -> "Tensor":
+        mu = self.mean(axis=axis, keepdims=True)
+        centered = self - mu
+        return (centered * centered).mean(axis=axis, keepdims=keepdims)
+
+    def logsumexp(self, axis: int = -1, keepdims: bool = False) -> "Tensor":
+        m = self.data.max(axis=axis, keepdims=True)
+        shifted = self - Tensor(m)
+        return shifted.exp().sum(axis=axis, keepdims=keepdims).log() + Tensor(
+            m if keepdims else np.squeeze(m, axis=axis)
+        )
+
+    # ------------------------------------------------------------------
+    # Linear algebra
+    # ------------------------------------------------------------------
+    def matmul(self, other: Arrayish) -> "Tensor":
+        other_t = _ensure_tensor(other)
+        a, b = self.data, other_t.data
+        data = a @ b
+
+        def backward(g: np.ndarray):
+            if a.ndim == 1 and b.ndim == 1:
+                return (g * b, g * a)
+            ga = g @ np.swapaxes(b, -1, -2) if b.ndim > 1 else np.outer(g, b)
+            gb = np.swapaxes(a, -1, -2) @ g if a.ndim > 1 else np.outer(a, g)
+            return (ga, gb)
+
+        return Tensor._make(data, (self, other_t), backward)
+
+    __matmul__ = matmul
+
+    # ------------------------------------------------------------------
+    # Shape manipulation
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        old_shape = self.data.shape
+        return Tensor._make(
+            self.data.reshape(shape), (self,), lambda g: (g.reshape(old_shape),)
+        )
+
+    def flatten(self) -> "Tensor":
+        return self.reshape(-1)
+
+    def transpose(self, *axes) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        inverse = tuple(np.argsort(axes))
+        return Tensor._make(
+            self.data.transpose(axes), (self,), lambda g: (g.transpose(inverse),)
+        )
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, idx) -> "Tensor":
+        data = self.data[idx]
+        shape = self.data.shape
+
+        def backward(g: np.ndarray):
+            full = np.zeros(shape, dtype=np.float64)
+            np.add.at(full, idx, g)
+            return (full,)
+
+        return Tensor._make(data, (self,), backward)
+
+    def pad2d(self, pad: int) -> "Tensor":
+        """Zero-pad the last two axes symmetrically by ``pad``."""
+        if pad == 0:
+            return self
+        widths = [(0, 0)] * (self.data.ndim - 2) + [(pad, pad), (pad, pad)]
+        data = np.pad(self.data, widths)
+        slicer = tuple(
+            [slice(None)] * (self.data.ndim - 2) + [slice(pad, -pad), slice(pad, -pad)]
+        )
+        return Tensor._make(data, (self,), lambda g: (g[slicer],))
+
+
+def _ensure_tensor(value: Arrayish) -> Tensor:
+    return value if isinstance(value, Tensor) else Tensor(value)
+
+
+def _stable_sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x, dtype=np.float64)
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Free functions (graph-aware)
+# ----------------------------------------------------------------------
+def tensor(data, requires_grad: bool = False) -> Tensor:
+    """Create a :class:`Tensor` (convenience mirror of ``torch.tensor``)."""
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def zeros(*shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.zeros(shape), requires_grad=requires_grad)
+
+
+def ones(*shape, requires_grad: bool = False) -> Tensor:
+    return Tensor(np.ones(shape), requires_grad=requires_grad)
+
+
+def randn(*shape, rng: Optional[np.random.Generator] = None, requires_grad: bool = False) -> Tensor:
+    rng = rng or np.random.default_rng()
+    return Tensor(rng.standard_normal(shape), requires_grad=requires_grad)
+
+
+def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient support."""
+    tensors = [_ensure_tensor(t) for t in tensors]
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g: np.ndarray):
+        out = []
+        for start, stop in zip(offsets[:-1], offsets[1:]):
+            slicer = [slice(None)] * g.ndim
+            slicer[axis] = slice(int(start), int(stop))
+            out.append(g[tuple(slicer)])
+        return tuple(out)
+
+    return Tensor._make(data, tensors, backward)
+
+
+def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Stack tensors along a new axis with gradient support."""
+    tensors = [_ensure_tensor(t) for t in tensors]
+    data = np.stack([t.data for t in tensors], axis=axis)
+
+    def backward(g: np.ndarray):
+        return tuple(np.take(g, i, axis=axis) for i in range(len(tensors)))
+
+    return Tensor._make(data, tensors, backward)
+
+
+def where(condition: np.ndarray, a: Arrayish, b: Arrayish) -> Tensor:
+    """Differentiable ``np.where`` (condition is a plain boolean array)."""
+    a_t, b_t = _ensure_tensor(a), _ensure_tensor(b)
+    cond = np.asarray(condition, dtype=bool)
+    data = np.where(cond, a_t.data, b_t.data)
+    return Tensor._make(
+        data, (a_t, b_t), lambda g: (g * cond, g * (~cond))
+    )

@@ -1,0 +1,87 @@
+"""Pareto-frontier utilities for (area, delay) trade-off analysis.
+
+Backs the Fig. 6 comparison (Pareto dominance against the commercial
+tool's offerings) and the multi-objective view of any run history: the
+scalar cost of Sec. 3 is a weighted sum, so the best designs across a
+sweep of delay weights trace a Pareto frontier in (area, delay).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from .simulator import Evaluation
+
+__all__ = ["dominates", "pareto_front", "pareto_evaluations", "hypervolume_2d"]
+
+Point = Tuple[float, float]
+
+
+def dominates(a: Point, b: Point, strict: bool = True) -> bool:
+    """True when ``a`` is at least as good as ``b`` in both objectives
+    (minimization) and, if ``strict``, better in at least one."""
+    at_least = a[0] <= b[0] + 1e-12 and a[1] <= b[1] + 1e-12
+    if not at_least:
+        return False
+    if not strict:
+        return True
+    return a[0] < b[0] - 1e-12 or a[1] < b[1] - 1e-12
+
+
+def pareto_front(points: Iterable[Point]) -> List[Point]:
+    """Non-dominated subset, sorted by the first objective.
+
+    Duplicate points are collapsed.  O(n log n) sweep: sort by x then keep
+    points with strictly decreasing y.
+    """
+    unique = sorted(set((float(a), float(b)) for a, b in points))
+    front: List[Point] = []
+    best_y = float("inf")
+    for x, y in unique:
+        if y < best_y - 1e-12:
+            front.append((x, y))
+            best_y = y
+    return front
+
+
+def pareto_evaluations(evaluations: Sequence[Evaluation]) -> List[Evaluation]:
+    """Non-dominated evaluations by (area, delay), sorted by area."""
+    chosen: List[Evaluation] = []
+    for e in evaluations:
+        point = (e.area_um2, e.delay_ns)
+        if not any(
+            dominates((o.area_um2, o.delay_ns), point) for o in evaluations
+        ):
+            chosen.append(e)
+    # Deduplicate identical metric pairs, keep area order.
+    seen = set()
+    out = []
+    for e in sorted(chosen, key=lambda e: (e.area_um2, e.delay_ns)):
+        key = (round(e.area_um2, 9), round(e.delay_ns, 9))
+        if key not in seen:
+            seen.add(key)
+            out.append(e)
+    return out
+
+
+def hypervolume_2d(front: Sequence[Point], reference: Point) -> float:
+    """Dominated hypervolume (area between the front and a reference point).
+
+    The reference must be worse than every front point in both objectives;
+    larger hypervolume = better frontier.  Standard 2-D sweep.
+    """
+    front = pareto_front(front)
+    if not front:
+        return 0.0
+    rx, ry = reference
+    for x, y in front:
+        if x > rx + 1e-12 or y > ry + 1e-12:
+            raise ValueError("reference point must dominate no front point")
+    volume = 0.0
+    prev_y = ry
+    for x, y in front:
+        volume += (rx - x) * (prev_y - y)
+        prev_y = y
+    return volume

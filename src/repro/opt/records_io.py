@@ -1,0 +1,69 @@
+"""Persistence for run records: save experiment traces, reload for analysis.
+
+Long sweeps (the Fig. 3 grid at paper scale is days of simulation) need
+their traces on disk so aggregation, plotting and speedup computation can
+re-run without re-simulating.  Records serialize to a compact JSON; costs
+and metrics round-trip exactly (binary64 via strings is avoided — JSON
+floats are binary64 already).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .results import RunRecord
+
+__all__ = ["save_records", "load_records"]
+
+_FORMAT_VERSION = 1
+
+
+def _record_to_dict(record: RunRecord) -> Dict:
+    return {
+        "method": record.method,
+        "task_name": record.task_name,
+        "seed": record.seed,
+        "costs": record.costs.tolist(),
+        "areas": record.areas.tolist(),
+        "delays": record.delays.tolist(),
+    }
+
+
+def _record_from_dict(payload: Dict) -> RunRecord:
+    costs = np.asarray(payload["costs"], dtype=np.float64)
+    areas = np.asarray(payload["areas"], dtype=np.float64)
+    delays = np.asarray(payload["delays"], dtype=np.float64)
+    if not (len(costs) == len(areas) == len(delays)):
+        raise ValueError("corrupt record: metric arrays have different lengths")
+    return RunRecord(
+        method=str(payload["method"]),
+        task_name=str(payload["task_name"]),
+        seed=int(payload["seed"]),
+        costs=costs,
+        areas=areas,
+        delays=delays,
+    )
+
+
+def save_records(path: str, records: Sequence[RunRecord]) -> None:
+    """Write records to a JSON file (creates parent directories)."""
+    payload = {
+        "version": _FORMAT_VERSION,
+        "records": [_record_to_dict(r) for r in records],
+    }
+    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+
+
+def load_records(path: str) -> List[RunRecord]:
+    """Read records back; validates the format version and array shapes."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ValueError(f"unsupported records version {payload.get('version')!r}")
+    return [_record_from_dict(entry) for entry in payload["records"]]

@@ -1,0 +1,72 @@
+"""Experiment harness: run (method x seed) grids and collect records.
+
+This is the machinery behind every figure/table bench: the paper runs each
+experiment "with five different random seeds and independently collected
+initial datasets" and reports medians and interquartile ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..circuits.task import CircuitTask
+from ..utils.rng import seed_sequence
+from .optimizer import SearchAlgorithm
+from .results import RunRecord
+from .simulator import BudgetExhausted, CircuitSimulator
+
+__all__ = ["run_method", "run_comparison"]
+
+AlgorithmFactory = Callable[[int], SearchAlgorithm]
+
+
+def run_method(
+    factory: AlgorithmFactory,
+    task: CircuitTask,
+    budget: int,
+    seeds: Sequence[int],
+    method_name: Optional[str] = None,
+) -> List[RunRecord]:
+    """Run one algorithm across seeds; one fresh simulator per run.
+
+    ``factory(seed)`` builds the algorithm instance (so per-seed
+    configuration like initial-dataset sizes can vary, as in the paper's
+    grouped-budget curves).
+    """
+    records: List[RunRecord] = []
+    for seed in seeds:
+        algorithm = factory(seed)
+        simulator = CircuitSimulator(task, budget=budget)
+        rng = np.random.default_rng(seed)
+        try:
+            algorithm.run(simulator, rng)
+        except BudgetExhausted:
+            pass  # normal termination for budget-driven algorithms
+        records.append(
+            RunRecord.from_simulator(
+                method_name or algorithm.method_name, seed, simulator
+            )
+        )
+    return records
+
+
+def run_comparison(
+    factories: Dict[str, AlgorithmFactory],
+    task: CircuitTask,
+    budget: int,
+    num_seeds: int = 3,
+    base_seed: int = 0,
+) -> Dict[str, List[RunRecord]]:
+    """Run several methods on one task with paired seeds.
+
+    Returns {method: [RunRecord per seed]} with all methods sharing the
+    same seed list, which keeps the Table-1 speedup pairing meaningful.
+    """
+    seeds = seed_sequence(base_seed, num_seeds)
+    return {
+        name: run_method(factory, task, budget, seeds, method_name=name)
+        for name, factory in factories.items()
+    }

@@ -1,0 +1,127 @@
+"""The black-box simulation oracle all search methods query.
+
+Wraps a :class:`~repro.circuits.task.CircuitTask` with:
+
+* **budget accounting** — the paper measures sample efficiency in number
+  of physical simulations; each *unique* circuit synthesized counts one
+  simulation against the budget (re-querying a cached design is free,
+  because a real workflow would also memoize synthesis results).
+* **legalization** — raw grids/bitvectors are legalized before synthesis,
+  so legalization is "part of the objective function" (Sec. 5.1) and two
+  encodings of the same legal circuit share a cache entry.
+* **history recording** — every new evaluation is appended to a trace used
+  to build the cost-vs-simulations curves of Figs. 3 and 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from ..circuits.task import CircuitTask
+from ..prefix.graph import PrefixGraph
+from ..prefix.legalize import legalize
+
+__all__ = ["Evaluation", "BudgetExhausted", "CircuitSimulator"]
+
+
+@dataclass(frozen=True)
+class Evaluation:
+    """One synthesized design and its measured metrics."""
+
+    graph: PrefixGraph
+    cost: float
+    area_um2: float
+    delay_ns: float
+    sim_index: int  # how many unique simulations had run *after* this one
+
+
+class BudgetExhausted(RuntimeError):
+    """Raised when a query would exceed the simulation budget."""
+
+
+class CircuitSimulator:
+    """Budgeted, memoizing synthesis oracle for one task."""
+
+    def __init__(self, task: CircuitTask, budget: Optional[int] = None):
+        self.task = task
+        self.budget = budget
+        self._cache: Dict[bytes, Evaluation] = {}
+        self.history: List[Evaluation] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def num_simulations(self) -> int:
+        """Unique physical simulations performed so far."""
+        return len(self.history)
+
+    @property
+    def remaining(self) -> Optional[int]:
+        if self.budget is None:
+            return None
+        return max(self.budget - self.num_simulations, 0)
+
+    def exhausted(self) -> bool:
+        return self.budget is not None and self.num_simulations >= self.budget
+
+    # ------------------------------------------------------------------
+    def canonicalize(self, design: Union[PrefixGraph, np.ndarray]) -> PrefixGraph:
+        """Legalize any design representation into a canonical graph."""
+        if isinstance(design, PrefixGraph):
+            return design
+        return legalize(np.asarray(design))
+
+    def query(self, design: Union[PrefixGraph, np.ndarray]) -> Evaluation:
+        """Synthesize a design (or return its cached evaluation).
+
+        Raises :class:`BudgetExhausted` if the design is new and the budget
+        is used up.
+        """
+        graph = self.canonicalize(design)
+        key = graph.key()
+        cached = self._cache.get(key)
+        if cached is not None:
+            return cached
+        if self.exhausted():
+            raise BudgetExhausted(
+                f"simulation budget of {self.budget} exhausted on task {self.task.name}"
+            )
+        result = self.task.synthesize(graph)
+        cost = self.task.cost(result)
+        evaluation = Evaluation(
+            graph=graph,
+            cost=cost,
+            area_um2=result.area_um2,
+            delay_ns=result.delay_ns,
+            sim_index=self.num_simulations + 1,
+        )
+        self._cache[key] = evaluation
+        self.history.append(evaluation)
+        return evaluation
+
+    def query_many(self, designs) -> List[Evaluation]:
+        """Query a batch, stopping silently when the budget runs out.
+
+        Returns the evaluations obtained (cached hits are always served).
+        """
+        out: List[Evaluation] = []
+        for design in designs:
+            try:
+                out.append(self.query(design))
+            except BudgetExhausted:
+                break
+        return out
+
+    # ------------------------------------------------------------------
+    def best(self) -> Evaluation:
+        """Lowest-cost evaluation so far."""
+        if not self.history:
+            raise ValueError("no simulations have run yet")
+        return min(self.history, key=lambda e: e.cost)
+
+    def best_cost_curve(self) -> np.ndarray:
+        """Running minimum cost after each simulation (length = #sims)."""
+        costs = np.array([e.cost for e in self.history])
+        return np.minimum.accumulate(costs) if len(costs) else costs

@@ -1,0 +1,58 @@
+"""Variation operators on circuit encodings.
+
+Shared by the genetic-algorithm baseline, the initial-dataset builder
+(the paper seeds CircuitVAE with "the first few generations of GA"), and
+the random-search baseline.  All operators work on the free-cell
+bitvector encoding and legalize their results, so they always produce
+valid circuits.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..prefix.encoding import bits_to_graph, graph_to_bits, num_free_cells
+from ..prefix.graph import PrefixGraph
+
+__all__ = ["mutate", "crossover", "random_population"]
+
+
+def mutate(graph: PrefixGraph, rng: np.random.Generator, rate: float = 0.02) -> PrefixGraph:
+    """Flip each free cell independently with probability ``rate``.
+
+    At least one flip is forced so mutation never degenerates to identity
+    (the legalized *result* may still coincide with the input when the
+    flipped cell was structurally implied).
+    """
+    bits = graph_to_bits(graph)
+    flips = rng.random(bits.shape[0]) < rate
+    if not flips.any():
+        flips[rng.integers(bits.shape[0])] = True
+    return bits_to_graph(bits ^ flips, graph.n)
+
+
+def crossover(
+    parent_a: PrefixGraph, parent_b: PrefixGraph, rng: np.random.Generator
+) -> PrefixGraph:
+    """Uniform crossover of two same-width circuits' bitvectors."""
+    if parent_a.n != parent_b.n:
+        raise ValueError("parents must share a bitwidth")
+    bits_a = graph_to_bits(parent_a)
+    bits_b = graph_to_bits(parent_b)
+    mask = rng.random(bits_a.shape[0]) < 0.5
+    return bits_to_graph(np.where(mask, bits_a, bits_b), parent_a.n)
+
+
+def random_population(
+    n: int, size: int, rng: np.random.Generator, density_range=(0.05, 0.5)
+) -> List[PrefixGraph]:
+    """Random legal circuits with varied densities (exploration seeds)."""
+    lo, hi = density_range
+    population = []
+    for _ in range(size):
+        density = rng.uniform(lo, hi)
+        bits = rng.random(num_free_cells(n)) < density
+        population.append(bits_to_graph(bits, n))
+    return population

@@ -1,0 +1,85 @@
+"""Encodings of prefix graphs for the learned models and the GA.
+
+Two views of the same circuit:
+
+* **Grid tensor** — the full ``N x N`` float matrix the paper's CNN VAE
+  autoencodes (Sec. 5.1, "N-bit prefix graphs are represented with an
+  N x N matrix as in [PrefixRL]").
+* **Free bitvector** — only the cells that are actual degrees of freedom:
+  strictly-lower-triangle cells excluding the output column (column 0) and
+  the diagonal, both of which are structurally forced.  This is the
+  representation the genetic algorithm mutates ("directly optimizing a
+  bitvector representation of the circuit", Sec. 5.2).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .graph import PrefixGraph
+from .legalize import legalize
+
+__all__ = [
+    "free_cells",
+    "num_free_cells",
+    "graph_to_bits",
+    "bits_to_graph",
+    "graph_to_grid",
+    "grid_to_graph",
+    "random_graph",
+]
+
+
+def free_cells(n: int) -> List[Tuple[int, int]]:
+    """Cells (i, j) with 0 < j < i: the mutable positions of an n-bit grid."""
+    return [(i, j) for i in range(2, n) for j in range(1, i)]
+
+
+def num_free_cells(n: int) -> int:
+    """(n-1)(n-2)/2 — the GA's chromosome length."""
+    return (n - 1) * (n - 2) // 2
+
+
+def graph_to_bits(graph: PrefixGraph) -> np.ndarray:
+    """Extract the free-cell bitvector (bool array) from a graph."""
+    cells = free_cells(graph.n)
+    return np.array([graph.grid[i, j] for i, j in cells], dtype=bool)
+
+
+def bits_to_graph(bits: np.ndarray, n: int) -> PrefixGraph:
+    """Legalize a free-cell bitvector into a :class:`PrefixGraph`.
+
+    Legalization may switch *on* cells that are 0 in ``bits`` (missing
+    parents are inserted), so this map is surjective onto legal graphs but
+    not injective.
+    """
+    bits = np.asarray(bits, dtype=bool).reshape(-1)
+    cells = free_cells(n)
+    if bits.shape[0] != len(cells):
+        raise ValueError(f"expected {len(cells)} bits for n={n}, got {bits.shape[0]}")
+    grid = np.zeros((n, n), dtype=bool)
+    for (i, j), bit in zip(cells, bits):
+        grid[i, j] = bit
+    return legalize(grid)
+
+
+def graph_to_grid(graph: PrefixGraph) -> np.ndarray:
+    """Full N x N float32-compatible (0/1) matrix for the VAE."""
+    return graph.grid.astype(np.float64)
+
+
+def grid_to_graph(grid: np.ndarray, threshold: float = 0.5) -> PrefixGraph:
+    """Threshold a real-valued decoder grid and legalize it."""
+    return legalize(np.asarray(grid) > threshold)
+
+
+def random_graph(n: int, rng: np.random.Generator, density: float = 0.2) -> PrefixGraph:
+    """A random legal graph: Bernoulli(density) free cells, legalized.
+
+    Used to seed initial datasets and as the reference distribution in
+    tests.  ``density`` controls how far from ripple-carry the samples sit.
+    """
+    bits = rng.random(num_free_cells(n)) < density
+    return bits_to_graph(bits, n)

@@ -1,0 +1,78 @@
+"""Legalization of raw prefix-graph grids (paper Sec. 5.1).
+
+CircuitVAE's decoder emits an arbitrary Bernoulli grid; the paper legalizes
+it "by inserting missing parents of existing nodes" before synthesis, and
+treats legalization as part of the objective function so the cost predictor
+learns legalization-equivalent values.  The same routine backs the GA's
+mutation operator and the RL environment's action application.
+
+The algorithm processes rows from the most significant downward.  For a
+node (i, j), its upper parent (i, k) is within row ``i`` by construction
+(``k`` = next present column), and its lower parent (k-1, j) lives in a
+*lower-index* row, which has not been scanned yet — so each insertion is
+seen later and recursively completed.  A single top-down sweep therefore
+yields a legal graph.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import PrefixGraph
+
+__all__ = ["legalize", "legalize_grid", "prune_redundant"]
+
+
+def legalize_grid(grid: np.ndarray) -> np.ndarray:
+    """Return a legal boolean grid containing ``grid``'s nodes.
+
+    Forces the diagonal and output column, then inserts missing lower
+    parents top-down.  The output satisfies ``PrefixGraph.is_legal``.
+    """
+    grid = np.asarray(grid)
+    n = grid.shape[0]
+    if grid.ndim != 2 or grid.shape[1] != n:
+        raise ValueError(f"grid must be square, got {grid.shape}")
+    out = np.zeros((n, n), dtype=bool)
+    tri = np.tril(np.ones((n, n), dtype=bool))
+    out[tri] = grid.astype(bool)[tri]
+    np.fill_diagonal(out, True)
+    out[:, 0] = True
+    for i in range(n - 1, 0, -1):
+        present = np.nonzero(out[i][: i + 1])[0]
+        for j, k in zip(present[:-1], present[1:]):
+            out[k - 1, j] = True
+    return out
+
+
+def legalize(grid: np.ndarray) -> PrefixGraph:
+    """Legalize a raw grid and wrap it as a :class:`PrefixGraph`."""
+    return PrefixGraph(legalize_grid(grid), validate=False)
+
+
+def prune_redundant(graph: PrefixGraph) -> PrefixGraph:
+    """Remove internal nodes that no output transitively depends on.
+
+    Legal graphs can contain dead spans (present but unused by any column-0
+    output).  Synthesis would waste area on them; this pass computes the
+    transitive fan-in of the outputs and drops everything else.  The result
+    is still legal: parents of needed nodes are needed.
+    """
+    needed = set()
+    stack = [(i, 0) for i in range(graph.n)]
+    while stack:
+        node = stack.pop()
+        if node in needed:
+            continue
+        needed.add(node)
+        if node[0] != node[1]:
+            upper, lower = graph.parents(*node)
+            stack.append(upper)
+            stack.append(lower)
+    grid = np.zeros_like(graph.grid)
+    for i, j in needed:
+        grid[i, j] = True
+    pruned = PrefixGraph(grid, validate=False)
+    if not pruned.is_legal():  # pragma: no cover - defensive
+        raise AssertionError("pruning broke legality")
+    return pruned

@@ -1,0 +1,66 @@
+"""Structural metrics over prefix graphs.
+
+Used by Fig. 8's structure comparison (best adder vs best gray-to-binary
+converter), by the analytics in the benchmark harnesses, and as features in
+tests' sanity assertions (e.g. Kogge-Stone has unit fanout, Sklansky has
+fanout ~ n/2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from .graph import PrefixGraph
+
+__all__ = [
+    "node_count",
+    "depth",
+    "max_fanout",
+    "fanout_histogram",
+    "hamming_distance",
+    "structure_summary",
+]
+
+
+def node_count(graph: PrefixGraph) -> int:
+    """Number of prefix operators (excludes the diagonal inputs)."""
+    return graph.node_count()
+
+
+def depth(graph: PrefixGraph) -> int:
+    """Logic depth in operator levels."""
+    return graph.depth()
+
+
+def max_fanout(graph: PrefixGraph) -> int:
+    """Largest number of children any span feeds."""
+    return max(graph.fanouts().values())
+
+
+def fanout_histogram(graph: PrefixGraph) -> Dict[int, int]:
+    """Histogram {fanout: count} over spans."""
+    hist: Dict[int, int] = {}
+    for fo in graph.fanouts().values():
+        hist[fo] = hist.get(fo, 0) + 1
+    return dict(sorted(hist.items()))
+
+
+def hamming_distance(a: PrefixGraph, b: PrefixGraph) -> int:
+    """Number of grid cells that differ between two same-width graphs."""
+    if a.n != b.n:
+        raise ValueError(f"width mismatch: {a.n} vs {b.n}")
+    return int(np.count_nonzero(a.grid != b.grid))
+
+
+def structure_summary(graph: PrefixGraph) -> Dict[str, float]:
+    """Compact structural fingerprint (used by the Fig. 8 bench)."""
+    fanouts = list(graph.fanouts().values())
+    return {
+        "n": graph.n,
+        "nodes": graph.node_count(),
+        "depth": graph.depth(),
+        "max_fanout": max(fanouts),
+        "mean_fanout": float(np.mean(fanouts)),
+    }

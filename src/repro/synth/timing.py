@@ -1,0 +1,130 @@
+"""Static timing analysis (STA) with a logical-effort delay model.
+
+Computes per-net arrival times in topological order; a gate's delay depends
+on its output load (sink pin capacitances + wire capacitance from the
+placement), so sizing and buffering decisions feed back into timing exactly
+as in a real flow.
+
+Supports per-bit **IO timing constraints**: input arrival offsets and output
+required-time margins, the "bit input and output timings captured from a
+complete datapath" of the paper's realistic experiment (Sec. 5.4).  The
+reported circuit delay is ``max_o(arrival(o) + margin(o))`` over primary
+outputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .netlist import Netlist
+from .placement import wire_length
+
+__all__ = ["IOTiming", "TimingReport", "analyze_timing", "net_load"]
+
+#: Capacitive load (fF) presented by a primary output (downstream logic).
+PO_LOAD_FF = 3.0
+
+
+@dataclass(frozen=True)
+class IOTiming:
+    """Per-bit timing environment of the circuit.
+
+    ``input_arrival[name]`` — time (ns) at which a primary input is stable;
+    missing names default to 0.  ``output_margin[name]`` — extra required
+    time (ns) charged after a primary output; missing names default to 0.
+    The uniform default (empty maps) reproduces the standard-benchmark
+    setting of Sec. 5.2; the datapath profiles of Sec. 5.4 are built with
+    :func:`repro.circuits.adder.datapath_io_timing`.
+    """
+
+    input_arrival: Dict[str, float] = field(default_factory=dict)
+    output_margin: Dict[str, float] = field(default_factory=dict)
+
+    def arrival(self, name: str) -> float:
+        return self.input_arrival.get(name, 0.0)
+
+    def margin(self, name: str) -> float:
+        return self.output_margin.get(name, 0.0)
+
+
+@dataclass
+class TimingReport:
+    """Result of one STA run."""
+
+    delay_ns: float
+    arrival_ns: np.ndarray  # per net
+    critical_output: str
+    critical_path: List[int]  # gate indices, input-side first
+    gate_delay_ns: np.ndarray  # per gate
+
+    def slack_ns(self, net: int) -> float:
+        """Slack of a net relative to the critical delay (>= 0)."""
+        return self.delay_ns - float(self.arrival_ns[net])
+
+
+def net_load(netlist: Netlist, net: int) -> float:
+    """Capacitive load (fF) on a net: sink pins + wire + PO load."""
+    load = 0.0
+    for sink_index, _pin in netlist.net_sinks[net]:
+        load += netlist.gates[sink_index].cell.input_cap
+    load += wire_length(netlist, net) * netlist.library.wire_cap_per_um
+    for po_net in netlist.primary_outputs.values():
+        if po_net == net:
+            load += PO_LOAD_FF
+    return load
+
+
+def analyze_timing(netlist: Netlist, io_timing: Optional[IOTiming] = None) -> TimingReport:
+    """Propagate arrival times and extract the critical path."""
+    io_timing = io_timing or IOTiming()
+    tau = netlist.library.tau_ns
+    num_nets = len(netlist.net_names)
+    arrival = np.zeros(num_nets)
+    from_gate = np.full(num_nets, -1, dtype=np.int64)  # gate that set arrival
+
+    for name, net in netlist.primary_inputs.items():
+        arrival[net] = io_timing.arrival(name)
+
+    gate_delays = np.zeros(len(netlist.gates))
+    for gate_index in netlist.topological_order():
+        gate = netlist.gates[gate_index]
+        load = net_load(netlist, gate.output)
+        delay = gate.cell.delay(load, tau)
+        gate_delays[gate_index] = delay
+        worst = 0.0
+        for net in gate.inputs:
+            if arrival[net] > worst:
+                worst = arrival[net]
+        arrival[gate.output] = worst + delay
+        from_gate[gate.output] = gate_index
+
+    worst_delay = -np.inf
+    critical_output = ""
+    critical_net = -1
+    for name, net in netlist.primary_outputs.items():
+        endpoint = arrival[net] + io_timing.margin(name)
+        if endpoint > worst_delay:
+            worst_delay = endpoint
+            critical_output = name
+            critical_net = net
+
+    # Trace the critical path backwards through worst-arrival inputs.
+    path: List[int] = []
+    net = critical_net
+    while net >= 0 and from_gate[net] >= 0:
+        gate_index = int(from_gate[net])
+        path.append(gate_index)
+        gate = netlist.gates[gate_index]
+        net = max(gate.inputs, key=lambda n: arrival[n]) if gate.inputs else -1
+    path.reverse()
+
+    return TimingReport(
+        delay_ns=float(worst_delay),
+        arrival_ns=arrival,
+        critical_output=critical_output,
+        critical_path=path,
+        gate_delay_ns=gate_delays,
+    )

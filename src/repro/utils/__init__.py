@@ -1,0 +1,5 @@
+"""``repro.utils`` — RNG management, ASCII plotting, table formatting."""
+
+from .rng import make_rng, seed_sequence, spawn
+
+__all__ = ["make_rng", "spawn", "seed_sequence"]

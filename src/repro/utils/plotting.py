@@ -1,0 +1,115 @@
+"""ASCII rendering: cost curves, Pareto frontiers and prefix graphs.
+
+Matplotlib is unavailable offline, so every figure bench emits (a) CSV
+series with exactly the data the paper plots and (b) a terminal rendering
+from this module, which is enough to read off the ordering and crossover
+behaviour the reproduction is judged on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..prefix.graph import PrefixGraph
+
+__all__ = ["ascii_plot", "ascii_scatter", "render_prefix_graph", "format_series_csv"]
+
+
+def _scale(values: np.ndarray, lo: float, hi: float, size: int) -> np.ndarray:
+    if hi <= lo:
+        return np.zeros(len(values), dtype=int)
+    pos = (values - lo) / (hi - lo) * (size - 1)
+    return np.clip(np.round(pos).astype(int), 0, size - 1)
+
+
+def ascii_plot(
+    series: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 72,
+    height: int = 20,
+    title: str = "",
+    xlabel: str = "",
+    ylabel: str = "",
+) -> str:
+    """Plot named (x, y) line series on a character canvas.
+
+    Each series gets a distinct marker; a legend and axis ranges are
+    appended.  Lower-left origin.
+    """
+    markers = "*o+x#@%&"
+    all_x = np.concatenate([np.asarray(x, dtype=float) for x, _ in series.values()])
+    all_y = np.concatenate([np.asarray(y, dtype=float) for _, y in series.values()])
+    finite = np.isfinite(all_y)
+    if not finite.any():
+        return "(no finite data)"
+    x_lo, x_hi = float(all_x.min()), float(all_x.max())
+    y_lo, y_hi = float(all_y[finite].min()), float(all_y[finite].max())
+    canvas = [[" "] * width for _ in range(height)]
+    legend = []
+    for marker, (name, (xs, ys)) in zip(markers, series.items()):
+        xs = np.asarray(xs, dtype=float)
+        ys = np.asarray(ys, dtype=float)
+        ok = np.isfinite(ys)
+        cols = _scale(xs[ok], x_lo, x_hi, width)
+        rows = _scale(ys[ok], y_lo, y_hi, height)
+        for c, r in zip(cols, rows):
+            canvas[height - 1 - r][c] = marker
+        legend.append(f"{marker} = {name}")
+    lines = []
+    if title:
+        lines.append(title)
+    lines += ["|" + "".join(row) for row in canvas]
+    lines.append("+" + "-" * width)
+    lines.append(
+        f"x: {xlabel} [{x_lo:g}, {x_hi:g}]   y: {ylabel} [{y_lo:.4g}, {y_hi:.4g}]"
+    )
+    lines.append("   ".join(legend))
+    return "\n".join(lines)
+
+
+def ascii_scatter(
+    points: Dict[str, Tuple[Sequence[float], Sequence[float]]],
+    width: int = 64,
+    height: int = 18,
+    title: str = "",
+    xlabel: str = "x",
+    ylabel: str = "y",
+) -> str:
+    """Scatter version of :func:`ascii_plot` (used by the Pareto figure)."""
+    return ascii_plot(points, width=width, height=height, title=title, xlabel=xlabel, ylabel=ylabel)
+
+
+def render_prefix_graph(graph: PrefixGraph, label: str = "") -> str:
+    """Draw the grid: '#' = present operator, '.' = absent, 'o' = diagonal.
+
+    Row i is printed with i+1 cells (the lower triangle), matching the
+    design drawings in the paper's Figs. 1 and 8.
+    """
+    lines = []
+    if label:
+        lines.append(label)
+    for i in range(graph.n):
+        cells = []
+        for j in range(i + 1):
+            if i == j:
+                cells.append("o")
+            elif graph.grid[i, j]:
+                cells.append("#")
+            else:
+                cells.append(".")
+        lines.append("".join(cells))
+    lines.append(
+        f"(nodes={graph.node_count()}, depth={graph.depth()})"
+    )
+    return "\n".join(lines)
+
+
+def format_series_csv(
+    header: Sequence[str], rows: Sequence[Sequence[float]]
+) -> str:
+    """Simple CSV emission for figure data."""
+    lines = [",".join(header)]
+    for row in rows:
+        lines.append(",".join(f"{v:.6g}" if isinstance(v, float) else str(v) for v in row))
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Tests for the latent Bayesian-optimization baseline (repro.baselines.bo)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import BOConfig, LatentBO
+from repro.baselines.random_search import RandomSearch, RandomSearchConfig
+from repro.circuits import adder_task
+from repro.core import CircuitVAEConfig, SearchConfig, TrainConfig
+from repro.opt import CircuitSimulator
+
+
+def small_bo():
+    vae = CircuitVAEConfig(
+        latent_dim=6, base_channels=4, hidden_dim=32, initial_samples=20,
+        first_round_epochs=6, train=TrainConfig(epochs=3, batch_size=16),
+        search=SearchConfig(num_parallel=6),
+    )
+    return LatentBO(BOConfig(vae=vae, batch_per_round=6, candidate_pool=96, gp_max_points=64))
+
+
+class TestLatentBO:
+    def test_run_exhausts_budget(self):
+        sim = CircuitSimulator(adder_task(8, 0.66), budget=60)
+        best = small_bo().run(sim, np.random.default_rng(0))
+        assert sim.num_simulations == 60
+        assert best.cost == sim.best().cost
+
+    def test_improves_over_initial_dataset(self):
+        sim = CircuitSimulator(adder_task(8, 0.66), budget=80)
+        best = small_bo().run(sim, np.random.default_rng(1))
+        initial_best = min(e.cost for e in sim.history[:20])
+        assert best.cost <= initial_best
+
+    def test_reproducible(self):
+        def run(seed):
+            sim = CircuitSimulator(adder_task(8, 0.66), budget=45)
+            small_bo().run(sim, np.random.default_rng(seed))
+            return [e.cost for e in sim.history]
+
+        assert run(2) == run(2)
+
+    def test_method_name(self):
+        assert small_bo().method_name == "BO"
+
+
+class TestRandomSearch:
+    def test_run_and_improve(self):
+        sim = CircuitSimulator(adder_task(8, 0.66), budget=80)
+        best = RandomSearch().run(sim, np.random.default_rng(3))
+        assert sim.num_simulations == 80
+        # Should at least match the best classical seed it starts from.
+        classic_best = min(e.cost for e in sim.history[:6])
+        assert best.cost <= classic_best
+
+    def test_random_fraction_explores(self):
+        config = RandomSearchConfig(random_fraction=1.0)
+        sim = CircuitSimulator(adder_task(8, 0.66), budget=30)
+        RandomSearch(config).run(sim, np.random.default_rng(4))
+        assert sim.num_simulations == 30

@@ -1,0 +1,54 @@
+"""Tests for the genetic-algorithm baseline (repro.baselines.ga)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GAConfig, GeneticAlgorithm
+from repro.circuits import adder_task
+from repro.opt import CircuitSimulator
+
+
+class TestConfig:
+    def test_elite_validation(self):
+        with pytest.raises(ValueError):
+            GeneticAlgorithm(GAConfig(population_size=4, elite_count=4))
+
+
+class TestRun:
+    def test_exhausts_budget(self):
+        sim = CircuitSimulator(adder_task(8, 0.66), budget=60)
+        GeneticAlgorithm(GAConfig(population_size=12)).run(sim, np.random.default_rng(0))
+        assert sim.num_simulations == 60
+
+    def test_improves_over_first_generation(self):
+        sim = CircuitSimulator(adder_task(8, 0.66), budget=120)
+        ga = GeneticAlgorithm(GAConfig(population_size=12))
+        best = ga.run(sim, np.random.default_rng(1))
+        first_gen_best = min(e.cost for e in sim.history[:12])
+        assert best.cost <= first_gen_best
+        assert ga.generation > 1
+
+    def test_classics_seeded(self):
+        sim = CircuitSimulator(adder_task(8, 0.66), budget=20)
+        GeneticAlgorithm(GAConfig(population_size=10)).run(sim, np.random.default_rng(2))
+        from repro.prefix import sklansky
+
+        assert any(e.graph == sklansky(8) for e in sim.history)
+
+    def test_no_classics_option(self):
+        sim = CircuitSimulator(adder_task(8, 0.66), budget=15)
+        GeneticAlgorithm(
+            GAConfig(population_size=10, seed_with_classics=False)
+        ).run(sim, np.random.default_rng(3))
+        from repro.prefix import sklansky, kogge_stone
+
+        graphs = {e.graph for e in sim.history[:10]}
+        assert not {sklansky(8), kogge_stone(8)} <= graphs
+
+    def test_reproducible(self):
+        def run(seed):
+            sim = CircuitSimulator(adder_task(8, 0.66), budget=40)
+            GeneticAlgorithm(GAConfig(population_size=8)).run(sim, np.random.default_rng(seed))
+            return [e.cost for e in sim.history]
+
+        assert run(5) == run(5)

@@ -1,0 +1,96 @@
+"""Tests for the GP surrogate and EI acquisition (repro.baselines.gp)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.gp import (
+    GaussianProcess,
+    expected_improvement,
+    median_lengthscale,
+    rbf_kernel,
+)
+
+
+class TestKernel:
+    def test_diagonal_is_variance(self):
+        x = np.random.default_rng(0).standard_normal((5, 3))
+        k = rbf_kernel(x, x, lengthscale=1.0, variance=2.0)
+        np.testing.assert_allclose(np.diag(k), 2.0)
+
+    def test_symmetric_psd(self):
+        x = np.random.default_rng(1).standard_normal((10, 4))
+        k = rbf_kernel(x, x, 1.5, 1.0)
+        np.testing.assert_allclose(k, k.T)
+        eigenvalues = np.linalg.eigvalsh(k)
+        assert eigenvalues.min() > -1e-10
+
+    def test_decays_with_distance(self):
+        a = np.zeros((1, 2))
+        near = np.array([[0.1, 0.0]])
+        far = np.array([[5.0, 0.0]])
+        assert rbf_kernel(a, near, 1.0, 1.0)[0, 0] > rbf_kernel(a, far, 1.0, 1.0)[0, 0]
+
+
+class TestMedianLengthscale:
+    def test_positive(self):
+        x = np.random.default_rng(2).standard_normal((30, 3))
+        assert median_lengthscale(x) > 0
+
+    def test_scales_with_data(self):
+        x = np.random.default_rng(3).standard_normal((30, 3))
+        assert median_lengthscale(10 * x) > 5 * median_lengthscale(x)
+
+
+class TestGP:
+    def test_interpolates_training_data(self):
+        rng = np.random.default_rng(4)
+        x = rng.standard_normal((20, 2))
+        y = np.sin(x[:, 0]) + x[:, 1] ** 2
+        gp = GaussianProcess(lengthscale=1.0, noise=1e-6).fit(x, y)
+        mean, std = gp.predict(x)
+        np.testing.assert_allclose(mean, y, atol=1e-3)
+        assert np.all(std < 0.1)
+
+    def test_uncertainty_grows_away_from_data(self):
+        x = np.zeros((5, 2))
+        y = np.zeros(5)
+        gp = GaussianProcess(lengthscale=1.0).fit(x, y)
+        _, std_near = gp.predict(np.array([[0.1, 0.0]]))
+        _, std_far = gp.predict(np.array([[10.0, 0.0]]))
+        assert std_far[0] > std_near[0]
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            GaussianProcess().predict(np.zeros((1, 2)))
+
+    def test_mismatched_xy_raises(self):
+        with pytest.raises(ValueError):
+            GaussianProcess().fit(np.zeros((3, 2)), np.zeros(4))
+
+    def test_invalid_noise(self):
+        with pytest.raises(ValueError):
+            GaussianProcess(noise=0.0)
+
+    def test_generalizes_smooth_function(self):
+        rng = np.random.default_rng(5)
+        x = rng.uniform(-2, 2, size=(60, 1))
+        y = np.sin(2 * x[:, 0])
+        gp = GaussianProcess(lengthscale=0.8, noise=1e-4).fit(x, y)
+        x_test = np.linspace(-1.8, 1.8, 20)[:, None]
+        mean, _ = gp.predict(x_test)
+        np.testing.assert_allclose(mean, np.sin(2 * x_test[:, 0]), atol=0.1)
+
+
+class TestEI:
+    def test_zero_when_far_worse(self):
+        ei = expected_improvement(np.array([100.0]), np.array([0.01]), best=0.0)
+        assert ei[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_positive_when_predicted_better(self):
+        ei = expected_improvement(np.array([-1.0]), np.array([0.1]), best=0.0)
+        assert ei[0] > 0.9
+
+    def test_uncertainty_increases_ei_at_same_mean(self):
+        low = expected_improvement(np.array([0.5]), np.array([0.01]), best=0.0)
+        high = expected_improvement(np.array([0.5]), np.array([2.0]), best=0.0)
+        assert high[0] > low[0]

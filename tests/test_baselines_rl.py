@@ -1,0 +1,84 @@
+"""Tests for the PrefixRL-style baseline (repro.baselines.rl)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import PrefixEnv, PrefixRL, QNetwork, RLConfig
+from repro.circuits import adder_task
+from repro.opt import CircuitSimulator
+
+
+@pytest.fixture
+def sim():
+    return CircuitSimulator(adder_task(8, 0.66), budget=100)
+
+
+class TestEnv:
+    def test_reset_starts_from_classic(self, sim):
+        env = PrefixEnv(sim, np.random.default_rng(0))
+        state = env.reset()
+        assert state.is_legal()
+        assert np.isfinite(env.state_cost)
+
+    def test_step_requires_reset(self, sim):
+        env = PrefixEnv(sim, np.random.default_rng(1))
+        with pytest.raises(RuntimeError):
+            env.step(0)
+
+    def test_step_reward_is_cost_delta(self, sim):
+        env = PrefixEnv(sim, np.random.default_rng(2))
+        env.reset()
+        before = env.state_cost
+        _, reward = env.step(3)
+        assert reward == pytest.approx(before - env.state_cost)
+
+    def test_states_always_legal(self, sim):
+        rng = np.random.default_rng(3)
+        env = PrefixEnv(sim, rng)
+        state = env.reset()
+        for _ in range(20):
+            action = int(rng.integers(env.num_actions))
+            state, _ = env.step(action)
+            assert state.is_legal()
+
+    def test_action_space_size(self, sim):
+        env = PrefixEnv(sim, np.random.default_rng(4))
+        # 2 actions (set/clear) per free cell: (n-1)(n-2)/2 cells at n=8.
+        assert env.num_actions == 2 * 21
+
+
+class TestQNetwork:
+    def test_output_shape(self):
+        net = QNetwork(8, 42, RLConfig(), np.random.default_rng(0))
+        out = net(np.zeros((3, 8, 8)))
+        assert out.shape == (3, 42)
+
+    def test_odd_width(self):
+        net = QNetwork(13, 10, RLConfig(), np.random.default_rng(1))
+        assert net(np.zeros((2, 13, 13))).shape == (2, 10)
+
+
+class TestAgent:
+    def test_run_exhausts_budget(self, sim):
+        agent = PrefixRL(RLConfig(episode_length=10, epsilon_decay_steps=50))
+        best = agent.run(sim, np.random.default_rng(5))
+        assert sim.num_simulations <= 100
+        assert sim.exhausted() or sim.num_simulations > 0
+        assert best.cost <= max(e.cost for e in sim.history)
+        assert agent.steps > 0
+
+    def test_epsilon_decays(self):
+        agent = PrefixRL(RLConfig(epsilon_start=1.0, epsilon_end=0.1, epsilon_decay_steps=10))
+        assert agent._epsilon() == pytest.approx(1.0)
+        agent.steps = 10
+        assert agent._epsilon() == pytest.approx(0.1)
+        agent.steps = 100
+        assert agent._epsilon() == pytest.approx(0.1)
+
+    def test_reproducible(self):
+        def run(seed):
+            sim = CircuitSimulator(adder_task(8, 0.66), budget=30)
+            PrefixRL(RLConfig(episode_length=6)).run(sim, np.random.default_rng(seed))
+            return [e.cost for e in sim.history]
+
+        assert run(6) == run(6)

@@ -1,0 +1,94 @@
+"""Tests for the leading-zero-detector extension (repro.circuits.lzd).
+
+The paper's conclusion claims the method "may be applied unchanged to
+optimize other prefix computations, such as leading zero detectors" —
+these tests pin down that the whole stack (verify, map, synthesize,
+optimize) indeed works unchanged on the OR-prefix task.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.circuits import lzd_task
+from repro.opt import CircuitSimulator
+from repro.prefix import (
+    STRUCTURES,
+    check_leading_zeros,
+    make_structure,
+    random_graph,
+    simulate_leading_zeros,
+    sklansky,
+)
+from repro.synth import map_leading_zero_detector, nangate45
+
+
+class TestSimulation:
+    def test_known_values(self):
+        g = sklansky(8)
+        values = np.array([0, 1, 128, 255, 16], dtype=np.uint64)
+        np.testing.assert_array_equal(
+            simulate_leading_zeros(g, values), [8, 7, 0, 0, 3]
+        )
+
+    @pytest.mark.parametrize("name", sorted(STRUCTURES))
+    def test_all_structures(self, name):
+        rng = np.random.default_rng(0)
+        assert check_leading_zeros(make_structure(name, 16), rng, trials=64)
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10 ** 6))
+    def test_property_random_graphs(self, seed):
+        rng = np.random.default_rng(seed)
+        g = random_graph(12, rng, float(rng.random() * 0.6))
+        assert check_leading_zeros(g, rng, trials=32)
+
+
+class TestMapping:
+    def test_netlist_one_hot_semantics(self):
+        n = 8
+        nl = map_leading_zero_detector(sklansky(n), nangate45())
+        rng = np.random.default_rng(1)
+        for _ in range(20):
+            value = int(rng.integers(0, 2 ** n))
+            inputs = {f"x[{i}]": bool((value >> i) & 1) for i in range(n)}
+            out = nl.evaluate(inputs)
+            hots = [out[f"hot[{i}]"] for i in range(n)]
+            if value == 0:
+                assert out["all_zero"] and not any(hots)
+            else:
+                first_one = n - 1 - (n - value.bit_length())  # bit index of MSB one
+                expected_i = n - 1 - first_one
+                assert hots[expected_i]
+                assert sum(hots) == 1
+                assert not out["all_zero"]
+
+    def test_uses_or_network(self):
+        counts = map_leading_zero_detector(sklansky(8), nangate45()).count_by_function()
+        assert counts["OR2"] > 0
+        assert "XOR2" not in counts
+
+
+class TestTask:
+    def test_task_synthesizes(self):
+        task = lzd_task(n=8)
+        result = task.synthesize(sklansky(8))
+        assert result.area_um2 > 0 and result.delay_ns > 0
+
+    def test_optimizer_runs_unchanged(self):
+        """The headline claim: the optimizer applies without modification."""
+        from repro.core import CircuitVAEConfig, CircuitVAEOptimizer, SearchConfig, TrainConfig
+
+        task = lzd_task(n=8, delay_weight=0.6)
+        sim = CircuitSimulator(task, budget=40)
+        optimizer = CircuitVAEOptimizer(
+            CircuitVAEConfig(
+                latent_dim=6, base_channels=4, hidden_dim=32, initial_samples=16,
+                first_round_epochs=6, train=TrainConfig(epochs=3, batch_size=16),
+                search=SearchConfig(num_parallel=6, num_steps=15, capture_every=5),
+            )
+        )
+        best = optimizer.run(sim, np.random.default_rng(0))
+        assert check_leading_zeros(best.graph, np.random.default_rng(1))
+        assert sim.num_simulations == 40

@@ -1,0 +1,87 @@
+"""Tests for latent diagnostics (repro.core.analysis)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CircuitDataset,
+    CircuitVAEModel,
+    TrainConfig,
+    VAEConfig,
+    cost_rank_correlation,
+    diagnose,
+    reconstruction_accuracy,
+    train_model,
+)
+from repro.prefix import random_graph
+
+
+@pytest.fixture(scope="module")
+def trained():
+    rng = np.random.default_rng(0)
+    ds = CircuitDataset()
+    while len(ds) < 40:
+        g = random_graph(8, rng, rng.random() * 0.6)
+        ds.add(g, float(g.node_count()))
+    model = CircuitVAEModel(
+        VAEConfig(n=8, latent_dim=8, base_channels=4, hidden_dim=48),
+        np.random.default_rng(1),
+    )
+    train_model(model, ds, np.random.default_rng(2), TrainConfig(epochs=80, batch_size=16, lr=2e-3))
+    return model, ds
+
+
+class TestRankCorrelation:
+    def test_perfect_correlation(self):
+        x = np.array([1.0, 2.0, 3.0, 4.0])
+        assert cost_rank_correlation(x, x * 10 + 5) == pytest.approx(1.0)
+
+    def test_perfect_anticorrelation(self):
+        x = np.array([1.0, 2.0, 3.0])
+        assert cost_rank_correlation(x, -x) == pytest.approx(-1.0)
+
+    def test_degenerate_inputs(self):
+        assert cost_rank_correlation(np.array([1.0]), np.array([2.0])) == 0.0
+        assert cost_rank_correlation(np.ones(5), np.ones(5)) == 0.0
+
+    def test_monotone_transform_invariant(self):
+        rng = np.random.default_rng(3)
+        x = rng.random(50)
+        assert cost_rank_correlation(x, np.exp(x)) == pytest.approx(1.0)
+
+
+class TestDiagnose:
+    def test_trained_model_is_healthy(self, trained):
+        model, ds = trained
+        diag = diagnose(model, ds)
+        assert diag.reconstruction_accuracy > 0.8
+        assert diag.cost_rank_correlation > 0.5
+        assert diag.latent_dim_active >= 2
+        assert diag.mean_latent_norm > 0
+        assert diag.healthy()
+
+    def test_untrained_model_is_not(self):
+        rng = np.random.default_rng(4)
+        ds = CircuitDataset()
+        while len(ds) < 10:
+            g = random_graph(8, rng, rng.random() * 0.5)
+            ds.add(g, float(g.node_count()))
+        model = CircuitVAEModel(
+            VAEConfig(n=8, latent_dim=8, base_channels=4, hidden_dim=48),
+            np.random.default_rng(5),
+        )
+        diag = diagnose(model, ds)
+        assert diag.cost_rank_correlation < 0.9  # untrained: no reliable ranking
+
+    def test_needs_two_points(self):
+        model = CircuitVAEModel(
+            VAEConfig(n=8, latent_dim=4, base_channels=4, hidden_dim=16),
+            np.random.default_rng(6),
+        )
+        with pytest.raises(ValueError):
+            diagnose(model, CircuitDataset())
+
+    def test_reconstruction_accuracy_range(self, trained):
+        model, ds = trained
+        acc = reconstruction_accuracy(model, ds.grids())
+        assert 0.0 <= acc <= 1.0

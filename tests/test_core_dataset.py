@@ -1,0 +1,117 @@
+"""Tests for the dataset and Eq.-2 rank weights (repro.core.dataset)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dataset import CircuitDataset, rank_weights
+from repro.prefix import brent_kung, ripple_carry, sklansky
+
+
+class TestRankWeights:
+    def test_lower_cost_gets_higher_weight(self):
+        w = rank_weights(np.array([3.0, 1.0, 2.0]), k=1e-3)
+        assert w[1] > w[2] > w[0]
+
+    def test_weights_normalized(self):
+        w = rank_weights(np.random.default_rng(0).random(50), k=1e-3)
+        assert w.sum() == pytest.approx(1.0)
+
+    def test_ties_share_weight(self):
+        w = rank_weights(np.array([2.0, 1.0, 1.0]), k=1e-3)
+        assert w[1] == pytest.approx(w[2])
+
+    def test_large_k_approaches_uniform(self):
+        costs = np.arange(10, dtype=float)
+        w = rank_weights(costs, k=1e6)
+        np.testing.assert_allclose(w, 0.1, rtol=1e-4)
+
+    def test_small_k_concentrates_on_best(self):
+        costs = np.arange(100, dtype=float)
+        w = rank_weights(costs, k=1e-6)
+        assert w[0] > 0.99
+
+    def test_matches_formula(self):
+        costs = np.array([5.0, 1.0, 3.0])
+        k = 0.5
+        raw = np.array([1 / (k * 3 + 2), 1 / (k * 3 + 0), 1 / (k * 3 + 1)])
+        np.testing.assert_allclose(rank_weights(costs, k), raw / raw.sum())
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            rank_weights(np.array([1.0]), k=0.0)
+
+    def test_empty(self):
+        assert rank_weights(np.zeros(0), k=1e-3).shape == (0,)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10 ** 6), n=st.integers(1, 60))
+    def test_property_weight_order_matches_cost_order(self, seed, n):
+        costs = np.random.default_rng(seed).random(n)
+        w = rank_weights(costs, k=1e-3)
+        order_by_cost = np.argsort(costs, kind="stable")
+        sorted_w = w[order_by_cost]
+        assert all(a >= b - 1e-15 for a, b in zip(sorted_w[:-1], sorted_w[1:]))
+
+
+class TestCircuitDataset:
+    def test_dedup(self):
+        ds = CircuitDataset()
+        assert ds.add(sklansky(8), 1.0)
+        assert not ds.add(sklansky(8), 2.0)
+        assert len(ds) == 1
+        assert sklansky(8) in ds
+
+    def test_best(self):
+        ds = CircuitDataset()
+        ds.add(sklansky(8), 2.0)
+        ds.add(ripple_carry(8), 1.0)
+        graph, cost = ds.best()
+        assert cost == 1.0 and graph == ripple_carry(8)
+
+    def test_best_empty_raises(self):
+        with pytest.raises(ValueError):
+            CircuitDataset().best()
+
+    def test_grids_shape(self):
+        ds = CircuitDataset()
+        ds.add(sklansky(8), 1.0)
+        ds.add(ripple_carry(8), 2.0)
+        assert ds.grids().shape == (2, 8, 8)
+        assert ds.grids([1]).shape == (1, 8, 8)
+
+    def test_sampling_prefers_low_cost(self):
+        ds = CircuitDataset(k=1e-3)
+        ds.add(sklansky(8), 1.0)
+        ds.add(ripple_carry(8), 100.0)
+        ds.add(brent_kung(8), 100.0)
+        rng = np.random.default_rng(0)
+        idx = ds.sample_indices(500, rng, weighted=True)
+        assert (idx == 0).mean() > 0.8
+
+    def test_uniform_sampling_flag(self):
+        ds = CircuitDataset()
+        ds.add(sklansky(8), 1.0)
+        ds.add(ripple_carry(8), 100.0)
+        rng = np.random.default_rng(0)
+        idx = ds.sample_indices(1000, rng, weighted=False)
+        assert abs((idx == 0).mean() - 0.5) < 0.06
+
+    def test_sample_from_empty_raises(self):
+        with pytest.raises(ValueError):
+            CircuitDataset().sample_indices(1, np.random.default_rng(0))
+
+    def test_cost_normalizer(self):
+        ds = CircuitDataset()
+        ds.add(sklansky(8), 2.0)
+        ds.add(ripple_carry(8), 4.0)
+        mean, std = ds.cost_normalizer()
+        assert mean == pytest.approx(3.0)
+        assert std == pytest.approx(1.0)
+
+    def test_cost_normalizer_degenerate_std(self):
+        ds = CircuitDataset()
+        ds.add(sklansky(8), 2.0)
+        _, std = ds.cost_normalizer()
+        assert std == 1.0  # guarded against zero

@@ -1,0 +1,129 @@
+"""Tests for prior-regularized latent search (repro.core.search)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dataset import CircuitDataset
+from repro.core.search import (
+    SearchConfig,
+    initialize_latents,
+    latent_gradient_search,
+)
+from repro.core.vae import CircuitVAEModel, VAEConfig
+from repro.prefix import random_graph, sklansky
+
+
+@pytest.fixture(scope="module")
+def setup():
+    rng = np.random.default_rng(0)
+    ds = CircuitDataset()
+    while len(ds) < 20:
+        g = random_graph(8, rng, rng.random() * 0.5)
+        ds.add(g, float(g.node_count()))
+    model = CircuitVAEModel(
+        VAEConfig(n=8, latent_dim=6, base_channels=4, hidden_dim=32),
+        np.random.default_rng(1),
+    )
+    return model, ds
+
+
+class TestInitialization:
+    def test_cost_weighted_shape(self, setup):
+        model, ds = setup
+        z0 = initialize_latents(model, ds, 12, np.random.default_rng(2))
+        assert z0.shape == (12, 6)
+
+    def test_prior_init_is_standard_normal(self, setup):
+        model, ds = setup
+        z0 = initialize_latents(model, ds, 4000, np.random.default_rng(3), mode="prior")
+        assert abs(z0.mean()) < 0.05
+        assert abs(z0.std() - 1.0) < 0.05
+
+    def test_fixed_graph_init_clusters(self, setup):
+        model, ds = setup
+        z0 = initialize_latents(
+            model, ds, 16, np.random.default_rng(4), mode="fixed-graph",
+            fixed_graph=sklansky(8),
+        )
+        # All trajectories start near the same posterior mean.
+        spread = z0.std(axis=0).mean()
+        prior = initialize_latents(model, ds, 16, np.random.default_rng(4), mode="prior")
+        assert spread < prior.std(axis=0).mean() * 1.5
+
+    def test_fixed_graph_requires_graph(self, setup):
+        model, ds = setup
+        with pytest.raises(ValueError):
+            initialize_latents(model, ds, 4, np.random.default_rng(5), mode="fixed-graph")
+
+    def test_unknown_mode(self, setup):
+        model, ds = setup
+        with pytest.raises(ValueError):
+            initialize_latents(model, ds, 4, np.random.default_rng(6), mode="warp")
+
+
+class TestGradientSearch:
+    def test_capture_counts(self, setup):
+        model, _ = setup
+        z0 = np.zeros((5, 6))
+        config = SearchConfig(num_steps=50, capture_every=10)
+        trace = latent_gradient_search(model, z0, np.random.default_rng(7), config)
+        assert trace.trajectories.shape == (5, 5, 6)  # 50/10 captures
+        assert trace.captured_latents.shape == (25, 6)
+        assert trace.predicted_costs.shape == (25,)
+
+    def test_final_step_always_captured(self, setup):
+        model, _ = setup
+        config = SearchConfig(num_steps=7, capture_every=3)
+        trace = latent_gradient_search(model, np.zeros((2, 6)), np.random.default_rng(8), config)
+        assert trace.trajectories.shape[0] == 3  # steps 3, 6, 7
+
+    def test_gammas_within_range(self, setup):
+        model, _ = setup
+        config = SearchConfig(gamma_low=0.01, gamma_high=0.1)
+        trace = latent_gradient_search(model, np.zeros((64, 6)), np.random.default_rng(9), config)
+        assert np.all(trace.gammas >= 0.01) and np.all(trace.gammas <= 0.1)
+
+    def test_invalid_gamma_range(self, setup):
+        model, _ = setup
+        with pytest.raises(ValueError):
+            latent_gradient_search(
+                model, np.zeros((2, 6)), np.random.default_rng(10),
+                SearchConfig(gamma_low=0.1, gamma_high=0.01),
+            )
+
+    def test_high_gamma_keeps_latents_near_origin(self, setup):
+        """The Fig. 5 behaviour: stronger prior regularization -> smaller
+        final latent norms."""
+        model, _ = setup
+        rng_init = np.random.default_rng(11)
+        z0 = rng_init.standard_normal((16, 6))
+
+        def final_norm(gamma):
+            config = SearchConfig(
+                num_steps=100, capture_every=100, step_size=0.3,
+                gamma_low=gamma, gamma_high=gamma * 1.0000001,
+            )
+            trace = latent_gradient_search(model, z0, np.random.default_rng(12), config)
+            return float(np.linalg.norm(trace.trajectories[-1], axis=1).mean())
+
+        assert final_norm(5.0) < final_norm(1e-4)
+
+    def test_box_constraint_mode(self, setup):
+        model, _ = setup
+        config = SearchConfig(num_steps=40, capture_every=10, box_constraint=0.5, step_size=0.5)
+        trace = latent_gradient_search(model, np.zeros((4, 6)), np.random.default_rng(13), config)
+        assert np.all(np.abs(trace.captured_latents) <= 0.5 + 1e-12)
+
+    def test_search_reduces_predicted_cost(self, setup):
+        """Gradient descent must actually descend the surrogate."""
+        model, ds = setup
+        from repro import nn
+        from repro.core.training import TrainConfig, train_model
+
+        train_model(model, ds, np.random.default_rng(14), TrainConfig(epochs=10, batch_size=10))
+        z0 = initialize_latents(model, ds, 8, np.random.default_rng(15))
+        with nn.no_grad():
+            before = model.predict_cost(nn.Tensor(z0)).numpy().mean()
+        config = SearchConfig(num_steps=60, capture_every=60, step_size=0.1)
+        trace = latent_gradient_search(model, z0, np.random.default_rng(16), config)
+        assert trace.predicted_costs.mean() < before

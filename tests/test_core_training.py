@@ -1,0 +1,95 @@
+"""Tests for VAE + cost-head training (repro.core.training)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.core.dataset import CircuitDataset
+from repro.core.training import TrainConfig, train_model
+from repro.core.vae import CircuitVAEModel, VAEConfig
+from repro.prefix import random_graph
+
+
+@pytest.fixture(scope="module")
+def toy_setup():
+    """A small dataset of random 8-bit circuits with node-count cost."""
+    rng = np.random.default_rng(0)
+    ds = CircuitDataset()
+    while len(ds) < 40:
+        g = random_graph(8, rng, rng.random() * 0.6)
+        ds.add(g, float(g.node_count()))
+    model = CircuitVAEModel(
+        VAEConfig(n=8, latent_dim=8, base_channels=4, hidden_dim=48),
+        np.random.default_rng(1),
+    )
+    config = TrainConfig(epochs=80, batch_size=16, lr=2e-3)
+    stats = train_model(model, ds, np.random.default_rng(2), config)
+    return model, ds, stats
+
+
+class TestTraining:
+    def test_loss_decreases(self, toy_setup):
+        _, _, stats = toy_setup
+        assert stats.total[-1] < stats.total[0]
+        assert stats.reconstruction[-1] < stats.reconstruction[0]
+
+    def test_stats_last(self, toy_setup):
+        _, _, stats = toy_setup
+        last = stats.last()
+        assert set(last) == {"total", "reconstruction", "kl", "cost"}
+
+    def test_cost_head_learns_signal(self, toy_setup):
+        """Predicted costs must correlate with true costs on training data."""
+        model, ds, _ = toy_setup
+        with nn.no_grad():
+            mu, _ = model.encode(ds.grids())
+        preds = model.predict_cost_raw(mu)
+        corr = np.corrcoef(preds, ds.costs)[0, 1]
+        assert corr > 0.6
+
+    def test_reconstructions_resemble_inputs(self, toy_setup):
+        model, ds, _ = toy_setup
+        grids = ds.grids()
+        with nn.no_grad():
+            mu, _ = model.encode(grids)
+            logits = model.decode(mu).numpy()
+        accuracy = ((logits > 0) == (grids > 0.5)).mean()
+        assert accuracy > 0.8
+
+    def test_normalizer_set_from_dataset(self, toy_setup):
+        model, ds, _ = toy_setup
+        mean, std = ds.cost_normalizer()
+        assert model.cost_mean == pytest.approx(mean)
+        assert model.cost_std == pytest.approx(std)
+
+    def test_empty_dataset_raises(self):
+        model = CircuitVAEModel(
+            VAEConfig(n=8, latent_dim=4, base_channels=4, hidden_dim=16),
+            np.random.default_rng(0),
+        )
+        with pytest.raises(ValueError):
+            train_model(model, CircuitDataset(), np.random.default_rng(0))
+
+    def test_reweight_flag_changes_training(self):
+        """With reweighting, low-cost circuits dominate minibatches, so the
+        two settings visit different data and end in different states."""
+        rng = np.random.default_rng(3)
+        ds = CircuitDataset(k=1e-4)
+        while len(ds) < 30:
+            g = random_graph(8, rng, rng.random() * 0.6)
+            ds.add(g, float(g.node_count()))
+
+        def fit(reweight):
+            model = CircuitVAEModel(
+                VAEConfig(n=8, latent_dim=4, base_channels=4, hidden_dim=16),
+                np.random.default_rng(42),
+            )
+            train_model(
+                model, ds, np.random.default_rng(43),
+                TrainConfig(epochs=4, batch_size=8, reweight=reweight),
+            )
+            with nn.no_grad():
+                mu, _ = model.encode(ds.grids())
+            return mu.numpy()
+
+        assert not np.allclose(fit(True), fit(False))

@@ -1,0 +1,235 @@
+"""Unit tests for the autograd engine (repro.nn.tensor)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn.tensor import _unbroadcast, concatenate, stack, where
+
+
+def numerical_grad(f, x, eps=1e-6):
+    """Central-difference gradient of scalar f() w.r.t. array x (in place)."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        i = it.multi_index
+        orig = x[i]
+        x[i] = orig + eps
+        fp = f()
+        x[i] = orig - eps
+        fm = f()
+        x[i] = orig
+        grad[i] = (fp - fm) / (2 * eps)
+        it.iternext()
+    return grad
+
+
+def check_grad(build, *shapes, seed=0, tol=1e-6):
+    """Gradcheck helper: build(*tensors) -> scalar Tensor."""
+    rng = np.random.default_rng(seed)
+    arrays = [rng.standard_normal(s) * 0.7 + 0.5 for s in shapes]
+    tensors = [nn.Tensor(a, requires_grad=True) for a in arrays]
+    out = build(*tensors)
+    out.backward()
+    for arr, t in zip(arrays, tensors):
+        num = numerical_grad(lambda: build(*[nn.Tensor(a) for a in arrays]).item(), arr)
+        assert t.grad is not None
+        np.testing.assert_allclose(t.grad, num, atol=tol, rtol=1e-4)
+
+
+class TestElementwise:
+    def test_add_broadcast(self):
+        check_grad(lambda a, b: (a + b).sum(), (3, 4), (4,))
+
+    def test_sub(self):
+        check_grad(lambda a, b: (a - b * 2.0).sum(), (5,), (5,))
+
+    def test_mul_broadcast(self):
+        check_grad(lambda a, b: (a * b).sum(), (2, 3, 4), (3, 4))
+
+    def test_div(self):
+        check_grad(lambda a, b: (a / (b * b + 1.0)).sum(), (4, 4), (4, 4))
+
+    def test_pow(self):
+        check_grad(lambda a: (a ** 3).sum(), (6,))
+
+    def test_neg(self):
+        check_grad(lambda a: (-a).sum(), (3,))
+
+    def test_exp_log(self):
+        check_grad(lambda a: ((a * a + 1.0).log() + a.exp()).sum(), (5,))
+
+    def test_sqrt(self):
+        check_grad(lambda a: (a * a + 1.0).sqrt().sum(), (4,))
+
+    def test_tanh_sigmoid(self):
+        check_grad(lambda a: (a.tanh() + a.sigmoid()).sum(), (7,))
+
+    def test_relu_grad_zero_in_negative_region(self):
+        t = nn.Tensor(np.array([-2.0, -1.0, 3.0]), requires_grad=True)
+        t.relu().sum().backward()
+        np.testing.assert_array_equal(t.grad, [0.0, 0.0, 1.0])
+
+    def test_leaky_relu(self):
+        t = nn.Tensor(np.array([-2.0, 3.0]), requires_grad=True)
+        t.leaky_relu(0.1).sum().backward()
+        np.testing.assert_allclose(t.grad, [0.1, 1.0])
+
+    def test_softplus_matches_log1pexp(self):
+        x = np.array([-30.0, -1.0, 0.0, 1.0, 30.0])
+        out = nn.Tensor(x).softplus().numpy()
+        np.testing.assert_allclose(out, np.logaddexp(0, x), rtol=1e-12)
+
+    def test_abs(self):
+        check_grad(lambda a: (a.abs() + 1.0).sum(), (5,), seed=3)
+
+    def test_clip_gradient_mask(self):
+        t = nn.Tensor(np.array([-2.0, 0.5, 2.0]), requires_grad=True)
+        t.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_array_equal(t.grad, [0.0, 1.0, 0.0])
+
+
+class TestReductions:
+    def test_sum_axis(self):
+        check_grad(lambda a: (a.sum(axis=0) ** 2).sum(), (3, 4))
+
+    def test_sum_keepdims(self):
+        check_grad(lambda a: (a * a.sum(axis=1, keepdims=True)).sum(), (3, 4))
+
+    def test_mean(self):
+        check_grad(lambda a: (a.mean(axis=1) ** 2).sum(), (2, 5))
+
+    def test_var(self):
+        check_grad(lambda a: a.var(axis=1).sum(), (3, 6))
+
+    def test_max_reduction(self):
+        t = nn.Tensor(np.array([[1.0, 5.0], [7.0, 2.0]]), requires_grad=True)
+        t.max(axis=1).sum().backward()
+        np.testing.assert_array_equal(t.grad, [[0, 1], [1, 0]])
+
+    def test_max_splits_ties(self):
+        t = nn.Tensor(np.array([3.0, 3.0, 1.0]), requires_grad=True)
+        t.max().backward()
+        np.testing.assert_allclose(t.grad, [0.5, 0.5, 0.0])
+
+
+class TestLinearAlgebraAndShape:
+    def test_matmul_2d(self):
+        check_grad(lambda a, b: (a @ b).sum(), (3, 4), (4, 5))
+
+    def test_matmul_vector(self):
+        check_grad(lambda a, b: (a @ b).sum(), (4,), (4,))
+
+    def test_reshape(self):
+        check_grad(lambda a: (a.reshape(2, 6) ** 2).sum(), (3, 4))
+
+    def test_transpose(self):
+        check_grad(lambda a: (a.T @ a).sum(), (3, 4))
+
+    def test_transpose_axes(self):
+        check_grad(lambda a: (a.transpose(1, 0, 2) ** 2).sum(), (2, 3, 4))
+
+    def test_getitem(self):
+        check_grad(lambda a: (a[1:, :2] ** 2).sum(), (4, 4))
+
+    def test_getitem_fancy(self):
+        idx = (np.array([0, 2]), np.array([1, 3]))
+        check_grad(lambda a: (a[idx] ** 2).sum(), (4, 4))
+
+    def test_concatenate(self):
+        check_grad(lambda a, b: (concatenate([a, b], axis=1) ** 2).sum(), (2, 3), (2, 2))
+
+    def test_stack(self):
+        check_grad(lambda a, b: (stack([a, b]) ** 2).sum(), (3,), (3,))
+
+    def test_where(self):
+        cond = np.array([True, False, True])
+        check_grad(lambda a, b: (where(cond, a, b) ** 2).sum(), (3,), (3,))
+
+    def test_pad2d(self):
+        check_grad(lambda a: (a.pad2d(2) ** 2).sum(), (1, 1, 3, 3))
+
+
+class TestGraphMechanics:
+    def test_grad_accumulates_on_reuse(self):
+        t = nn.Tensor(np.ones(3), requires_grad=True)
+        (t * 2 + t * 3).sum().backward()
+        np.testing.assert_allclose(t.grad, [5.0, 5.0, 5.0])
+
+    def test_backward_requires_scalar(self):
+        t = nn.Tensor(np.ones(3), requires_grad=True)
+        with pytest.raises(RuntimeError):
+            (t * 2).backward()
+
+    def test_backward_on_nograd_raises(self):
+        t = nn.Tensor(np.ones(3))
+        with pytest.raises(RuntimeError):
+            t.sum().backward()
+
+    def test_no_grad_context(self):
+        t = nn.Tensor(np.ones(3), requires_grad=True)
+        with nn.no_grad():
+            out = (t * 2).sum()
+        assert not out.requires_grad
+        assert nn.is_grad_enabled()
+
+    def test_detach(self):
+        t = nn.Tensor(np.ones(3), requires_grad=True)
+        d = t.detach()
+        assert not d.requires_grad
+        assert d.data is t.data
+
+    def test_deep_chain_no_recursion_error(self):
+        t = nn.Tensor(np.ones(2), requires_grad=True)
+        out = t
+        for _ in range(2000):
+            out = out + 0.001
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, [1.0, 1.0])
+
+    def test_zero_grad(self):
+        t = nn.Tensor(np.ones(2), requires_grad=True)
+        t.sum().backward()
+        assert t.grad is not None
+        t.zero_grad()
+        assert t.grad is None
+
+    def test_diamond_graph_grad(self):
+        # y = (a + a*a); dy/da = 1 + 2a
+        a = nn.Tensor(np.array([3.0]), requires_grad=True)
+        (a + a * a).sum().backward()
+        np.testing.assert_allclose(a.grad, [7.0])
+
+
+class TestUnbroadcast:
+    def test_sum_leading_axes(self):
+        g = np.ones((2, 3, 4))
+        out = _unbroadcast(g, (4,))
+        np.testing.assert_allclose(out, np.full(4, 6.0))
+
+    def test_sum_kept_axes(self):
+        g = np.ones((3, 4))
+        out = _unbroadcast(g, (3, 1))
+        np.testing.assert_allclose(out, np.full((3, 1), 4.0))
+
+    def test_identity(self):
+        g = np.ones((3, 4))
+        assert _unbroadcast(g, (3, 4)) is g
+
+
+class TestConstructors:
+    def test_factories(self):
+        assert nn.zeros(2, 3).shape == (2, 3)
+        assert nn.ones(4).numpy().sum() == 4.0
+        r = nn.randn(5, rng=np.random.default_rng(0))
+        assert r.shape == (5,)
+
+    def test_logsumexp_stability(self):
+        x = nn.Tensor(np.array([[1000.0, 1000.0]]))
+        out = x.logsumexp(axis=1)
+        np.testing.assert_allclose(out.numpy(), [1000.0 + np.log(2.0)])
+
+    def test_repr_and_len(self):
+        t = nn.Tensor(np.zeros((2, 2)), requires_grad=True)
+        assert "requires_grad" in repr(t)
+        assert len(t) == 2

@@ -1,0 +1,88 @@
+"""Tests for Pareto utilities (repro.opt.pareto)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.opt.pareto import dominates, hypervolume_2d, pareto_evaluations, pareto_front
+from repro.opt.simulator import Evaluation
+from repro.prefix import sklansky
+
+
+class TestDominates:
+    def test_strict_dominance(self):
+        assert dominates((1, 1), (2, 2))
+        assert not dominates((2, 2), (1, 1))
+
+    def test_equal_points_not_strict(self):
+        assert not dominates((1, 1), (1, 1), strict=True)
+        assert dominates((1, 1), (1, 1), strict=False)
+
+    def test_tradeoff_incomparable(self):
+        assert not dominates((1, 3), (3, 1))
+        assert not dominates((3, 1), (1, 3))
+
+
+class TestParetoFront:
+    def test_simple_front(self):
+        points = [(1, 5), (2, 3), (3, 4), (4, 1), (5, 2)]
+        assert pareto_front(points) == [(1, 5), (2, 3), (4, 1)]
+
+    def test_duplicates_collapsed(self):
+        assert pareto_front([(1, 1), (1, 1)]) == [(1, 1)]
+
+    def test_empty(self):
+        assert pareto_front([]) == []
+
+    @settings(max_examples=50, deadline=None)
+    @given(seed=st.integers(0, 10 ** 6), count=st.integers(1, 40))
+    def test_property_front_is_mutually_nondominated(self, seed, count):
+        rng = np.random.default_rng(seed)
+        points = [tuple(p) for p in rng.random((count, 2))]
+        front = pareto_front(points)
+        # No front member dominates another.
+        for a in front:
+            for b in front:
+                if a != b:
+                    assert not dominates(a, b)
+        # Every input point is dominated-or-tied by some front member.
+        for p in points:
+            assert any(dominates(f, p, strict=False) for f in front)
+
+
+class TestParetoEvaluations:
+    def _ev(self, area, delay, cost=0.0):
+        return Evaluation(
+            graph=sklansky(8), cost=cost, area_um2=area, delay_ns=delay, sim_index=0
+        )
+
+    def test_filters_dominated(self):
+        evals = [self._ev(1, 5), self._ev(2, 2), self._ev(3, 3)]
+        front = pareto_evaluations(evals)
+        assert [(e.area_um2, e.delay_ns) for e in front] == [(1, 5), (2, 2)]
+
+    def test_deduplicates(self):
+        evals = [self._ev(1, 1), self._ev(1, 1)]
+        assert len(pareto_evaluations(evals)) == 1
+
+
+class TestHypervolume:
+    def test_single_point(self):
+        assert hypervolume_2d([(1, 1)], reference=(3, 3)) == pytest.approx(4.0)
+
+    def test_two_points(self):
+        # (1,2) and (2,1) vs ref (3,3): 2*1 + 1*1 + 1*1 = strips: (3-1)*(3-2)=2, (3-2)*(2-1)=1 -> 3
+        assert hypervolume_2d([(1, 2), (2, 1)], reference=(3, 3)) == pytest.approx(3.0)
+
+    def test_better_front_has_larger_volume(self):
+        good = hypervolume_2d([(1, 1)], reference=(4, 4))
+        bad = hypervolume_2d([(3, 3)], reference=(4, 4))
+        assert good > bad
+
+    def test_invalid_reference_raises(self):
+        with pytest.raises(ValueError):
+            hypervolume_2d([(5, 5)], reference=(3, 3))
+
+    def test_empty_front(self):
+        assert hypervolume_2d([], reference=(1, 1)) == 0.0

@@ -1,0 +1,67 @@
+"""Tests for run-record persistence (repro.opt.records_io)."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.opt import RunRecord, load_records, save_records
+
+
+def make_record(seed=0):
+    rng = np.random.default_rng(seed)
+    costs = rng.random(10)
+    return RunRecord(
+        method="VAE", task_name="adder8@w0.66", seed=seed,
+        costs=costs, areas=costs * 100, delays=costs / 10,
+    )
+
+
+class TestRoundtrip:
+    def test_exact_roundtrip(self, tmp_path):
+        path = str(tmp_path / "runs.json")
+        records = [make_record(0), make_record(1)]
+        save_records(path, records)
+        loaded = load_records(path)
+        assert len(loaded) == 2
+        for original, restored in zip(records, loaded):
+            assert restored.method == original.method
+            assert restored.seed == original.seed
+            np.testing.assert_array_equal(restored.costs, original.costs)
+            np.testing.assert_array_equal(restored.delays, original.delays)
+
+    def test_loaded_records_support_statistics(self, tmp_path):
+        from repro.opt import aggregate_curves
+
+        path = str(tmp_path / "runs.json")
+        save_records(path, [make_record(0), make_record(1)])
+        agg = aggregate_curves(load_records(path), budgets=[5, 10])
+        assert agg["median"].shape == (2,)
+
+    def test_creates_directories(self, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "runs.json")
+        save_records(path, [make_record()])
+        assert load_records(path)[0].method == "VAE"
+
+
+class TestValidation:
+    def test_version_check(self, tmp_path):
+        path = str(tmp_path / "bad.json")
+        with open(path, "w") as fh:
+            json.dump({"version": 42, "records": []}, fh)
+        with pytest.raises(ValueError):
+            load_records(path)
+
+    def test_corrupt_lengths_rejected(self, tmp_path):
+        path = str(tmp_path / "corrupt.json")
+        payload = {
+            "version": 1,
+            "records": [{
+                "method": "X", "task_name": "t", "seed": 0,
+                "costs": [1.0, 2.0], "areas": [1.0], "delays": [1.0, 2.0],
+            }],
+        }
+        with open(path, "w") as fh:
+            json.dump(payload, fh)
+        with pytest.raises(ValueError):
+            load_records(path)

@@ -1,0 +1,82 @@
+"""Tests for run records and paper statistics (repro.opt.results)."""
+
+import numpy as np
+import pytest
+
+from repro.opt.results import (
+    RunRecord,
+    aggregate_curves,
+    best_cost_at,
+    median_iqr,
+    sims_to_reach,
+    vae_speedup,
+)
+
+
+def record(costs, method="X", seed=0):
+    costs = np.asarray(costs, dtype=float)
+    return RunRecord(
+        method=method,
+        task_name="t",
+        seed=seed,
+        costs=costs,
+        areas=costs * 100,
+        delays=costs / 10,
+    )
+
+
+class TestRunRecord:
+    def test_best_curve_monotone(self):
+        r = record([5, 3, 4, 2, 6])
+        np.testing.assert_array_equal(r.best_curve(), [5, 3, 3, 2, 2])
+
+    def test_best_metrics(self):
+        r = record([5, 3, 4])
+        cost, area, delay = r.best_metrics()
+        assert (cost, area, delay) == (3, 300, 0.3)
+
+    def test_best_cost_at_budget(self):
+        r = record([5, 3, 4, 2])
+        assert best_cost_at(r, 2) == 3
+        assert best_cost_at(r, 100) == 2
+        assert best_cost_at(r, 0) == float("inf")
+
+    def test_sims_to_reach(self):
+        r = record([5, 3, 4, 2])
+        assert sims_to_reach(r, 5.0) == 1
+        assert sims_to_reach(r, 2.5) == 4
+        assert sims_to_reach(r, 1.0) is None
+
+
+class TestAggregation:
+    def test_aggregate_median_and_quartiles(self):
+        records = [record([4, 4, 4]), record([2, 2, 2]), record([3, 3, 3])]
+        agg = aggregate_curves(records, budgets=[1, 3])
+        np.testing.assert_array_equal(agg["median"], [3, 3])
+        assert agg["q25"][0] == pytest.approx(2.5)
+        assert agg["q75"][0] == pytest.approx(3.5)
+
+    def test_median_iqr_format(self):
+        med, q25, q75 = median_iqr([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert med == 3.0 and q25 == 2.0 and q75 == 4.0
+
+
+class TestSpeedup:
+    def test_speedup_when_vae_is_faster(self):
+        # Competitor reaches its best (3.0) at sim 10; VAE reaches <= 3.0 at sim 2.
+        other = record([5] * 9 + [3], method="GA")
+        vae = record([5, 2], method="VAE")
+        (s,) = vae_speedup([vae], [other])
+        assert s == pytest.approx(10 / 2)
+
+    def test_speedup_below_one_when_vae_never_matches(self):
+        other = record([1.0], method="GA")
+        vae = record([5, 4, 3], method="VAE")
+        (s,) = vae_speedup([vae], [other])
+        assert s == pytest.approx(1 / 3)
+
+    def test_pairing_by_position(self):
+        others = [record([3], seed=0), record([2], seed=1)]
+        vaes = [record([3], seed=0), record([4, 2], seed=1)]
+        speedups = vae_speedup(vaes, others)
+        assert speedups == [pytest.approx(1.0), pytest.approx(0.5)]

@@ -1,0 +1,63 @@
+"""Tests + property tests for variation operators (repro.opt.variation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.opt.variation import crossover, mutate, random_population
+from repro.prefix import check_adder, random_graph, sklansky
+
+
+class TestMutate:
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(0, 10 ** 6), rate=st.floats(0.001, 0.5))
+    def test_property_children_are_legal_and_functional(self, seed, rate):
+        rng = np.random.default_rng(seed)
+        parent = random_graph(10, rng, 0.3)
+        child = mutate(parent, rng, rate)
+        assert child.is_legal()
+        assert check_adder(child, rng, trials=8)
+
+    def test_forces_at_least_one_flip(self):
+        rng = np.random.default_rng(0)
+        parent = sklansky(8)
+        # Even at rate 0 a flip is forced (result may legalize back, but
+        # usually differs).
+        children = [mutate(parent, rng, rate=0.0) for _ in range(20)]
+        assert any(c != parent for c in children)
+
+
+class TestCrossover:
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10 ** 6))
+    def test_property_children_are_legal(self, seed):
+        rng = np.random.default_rng(seed)
+        a = random_graph(10, rng, 0.25)
+        b = random_graph(10, rng, 0.45)
+        child = crossover(a, b, rng)
+        assert child.is_legal()
+
+    def test_width_mismatch_raises(self):
+        rng = np.random.default_rng(1)
+        with pytest.raises(ValueError):
+            crossover(sklansky(8), sklansky(16), rng)
+
+    def test_identical_parents_reproduce(self):
+        rng = np.random.default_rng(2)
+        a = sklansky(8)
+        assert crossover(a, a, rng) == a
+
+
+class TestRandomPopulation:
+    def test_size_and_legality(self):
+        rng = np.random.default_rng(3)
+        pop = random_population(12, 10, rng)
+        assert len(pop) == 10
+        assert all(g.is_legal() for g in pop)
+
+    def test_densities_vary(self):
+        rng = np.random.default_rng(4)
+        pop = random_population(12, 30, rng, density_range=(0.0, 0.8))
+        counts = {g.node_count() for g in pop}
+        assert len(counts) > 5

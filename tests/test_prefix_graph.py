@@ -1,0 +1,127 @@
+"""Tests for the prefix-graph representation (repro.prefix.graph)."""
+
+import numpy as np
+import pytest
+
+from repro.prefix import PrefixGraph, kogge_stone, ripple_carry, sklansky
+
+
+class TestConstruction:
+    def test_forces_diagonal_and_output_column(self):
+        g = PrefixGraph(np.zeros((4, 4)), validate=False)
+        assert g.grid.diagonal().all()
+        assert g.grid[:, 0].all()
+
+    def test_ignores_upper_triangle(self):
+        grid = np.ones((4, 4))
+        g = PrefixGraph(grid, validate=False)
+        assert not g.grid[0, 1]
+        assert not g.grid[2, 3]
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError):
+            PrefixGraph(np.zeros((3, 4)))
+
+    def test_rejects_illegal_when_validating(self):
+        grid = np.zeros((5, 5), dtype=bool)
+        grid[4, 2] = True  # upper parent (4,4); lower parent (3,2) missing
+        with pytest.raises(ValueError):
+            PrefixGraph(grid, validate=True)
+
+    def test_single_bit(self):
+        g = PrefixGraph(np.ones((1, 1)))
+        assert g.node_count() == 0
+        assert g.depth() == 0
+
+
+class TestParents:
+    def test_ripple_parents(self):
+        g = ripple_carry(5)
+        # Node (3, 0): row 3 has {0, 3}; upper (3,3), lower (2,0).
+        assert g.parents(3, 0) == ((3, 3), (2, 0))
+
+    def test_sklansky_parents(self):
+        g = sklansky(8)
+        # (7, 0) in Sklansky: row 7 has 0, 4, 6, 7 -> upper (7,4), lower (3,0)
+        assert g.parents(7, 0) == ((7, 4), (3, 0))
+
+    def test_diagonal_has_no_parents(self):
+        g = ripple_carry(4)
+        with pytest.raises(ValueError):
+            g.parents(2, 2)
+
+
+class TestMetricsAndOrder:
+    def test_node_count_ripple(self):
+        assert ripple_carry(8).node_count() == 7
+
+    def test_depth_formulas(self):
+        assert ripple_carry(8).depth() == 7
+        assert sklansky(8).depth() == 3
+        assert sklansky(16).depth() == 4
+        assert kogge_stone(16).depth() == 4
+
+    def test_levels_inputs_are_zero(self):
+        levels = sklansky(8).levels()
+        assert all(levels[(i, i)] == 0 for i in range(8))
+
+    def test_topological_order_parents_first(self):
+        g = kogge_stone(16)
+        seen = set()
+        for node in g.topological_order():
+            if node[0] != node[1]:
+                upper, lower = g.parents(*node)
+                assert upper in seen and lower in seen
+            seen.add(node)
+
+    def test_fanouts_count_children(self):
+        g = ripple_carry(4)
+        fanouts = g.fanouts()
+        # (0,0) is lower parent of (1,0) only.
+        assert fanouts[(0, 0)] == 1
+        # (3,0) is an output, nobody consumes it.
+        assert fanouts[(3, 0)] == 0
+
+    def test_evaluate_with_sum_operator(self):
+        # With + as the associative operator and leaf i = 1, span (i, j)
+        # must evaluate to the span length.
+        g = sklansky(8)
+        values = g.evaluate([1] * 8, lambda up, lo: up + lo)
+        for (i, j), v in values.items():
+            assert v == i - j + 1
+
+    def test_evaluate_wrong_leaf_count(self):
+        with pytest.raises(ValueError):
+            sklansky(4).evaluate([1, 2], lambda a, b: a + b)
+
+
+class TestIdentity:
+    def test_equality_and_hash(self):
+        a, b = sklansky(8), sklansky(8)
+        assert a == b and hash(a) == hash(b)
+        assert a != ripple_carry(8)
+
+    def test_key_is_stable(self):
+        g = sklansky(8)
+        assert g.key() == g.key()
+
+    def test_copy_is_equal_but_independent(self):
+        g = sklansky(8)
+        c = g.copy()
+        assert c == g
+        c.grid[5, 2] = not c.grid[5, 2]
+        assert c.grid[5, 2] != g.grid[5, 2]
+
+    def test_with_node_bounds(self):
+        g = sklansky(8)
+        with pytest.raises(IndexError):
+            g.with_node(2, 5, True)
+
+    def test_with_node_returns_raw_grid(self):
+        g = ripple_carry(4)
+        raw = g.with_node(3, 2, True)
+        assert raw[3, 2]
+        assert not g.grid[3, 2]  # original untouched
+
+    def test_repr(self):
+        assert "PrefixGraph" in repr(sklansky(8))

@@ -1,0 +1,57 @@
+"""Tests for structural metrics (repro.prefix.metrics)."""
+
+import pytest
+
+from repro.prefix import (
+    brent_kung,
+    depth,
+    fanout_histogram,
+    hamming_distance,
+    kogge_stone,
+    max_fanout,
+    node_count,
+    ripple_carry,
+    sklansky,
+    structure_summary,
+)
+
+
+def test_node_count_and_depth_delegate():
+    g = sklansky(16)
+    assert node_count(g) == g.node_count()
+    assert depth(g) == g.depth()
+
+
+def test_kogge_stone_unit_span_fanout():
+    # In KS every span feeds at most a few children; Sklansky roots feed many.
+    assert max_fanout(kogge_stone(32)) < max_fanout(sklansky(32))
+
+
+def test_fanout_histogram_totals():
+    g = brent_kung(16)
+    hist = fanout_histogram(g)
+    assert sum(hist.values()) == len(g.nodes())
+
+
+def test_hamming_distance_zero_iff_equal():
+    a, b = sklansky(16), sklansky(16)
+    assert hamming_distance(a, b) == 0
+    assert hamming_distance(a, kogge_stone(16)) > 0
+
+
+def test_hamming_distance_symmetric():
+    a, b = sklansky(16), brent_kung(16)
+    assert hamming_distance(a, b) == hamming_distance(b, a)
+
+
+def test_hamming_distance_width_mismatch():
+    with pytest.raises(ValueError):
+        hamming_distance(sklansky(8), sklansky(16))
+
+
+def test_structure_summary_keys():
+    s = structure_summary(ripple_carry(8))
+    assert s["nodes"] == 7
+    assert s["depth"] == 7
+    assert s["max_fanout"] == 1
+    assert set(s) == {"n", "nodes", "depth", "max_fanout", "mean_fanout"}

@@ -1,0 +1,88 @@
+"""Tests for cell libraries (repro.synth.library)."""
+
+import pytest
+
+from repro.synth import CellLibrary, LIBRARIES, nangate45, scaled_library
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return nangate45()
+
+
+class TestCells:
+    def test_all_functions_present(self, lib):
+        for function in ("INV", "BUF", "AND2", "OR2", "NAND2", "NOR2", "XOR2", "AOI21"):
+            assert lib.variants(function)
+
+    def test_variants_sorted_by_drive(self, lib):
+        drives = [c.drive for c in lib.variants("INV")]
+        assert drives == sorted(drives)
+        assert drives[0] == 1
+
+    def test_delay_monotone_in_load(self, lib):
+        cell = lib.cell("NAND2_X1")
+        delays = [cell.delay(load, lib.tau_ns) for load in (1.0, 2.0, 4.0, 8.0)]
+        assert all(a < b for a, b in zip(delays, delays[1:]))
+
+    def test_upsizing_speeds_up_at_fixed_load(self, lib):
+        x1 = lib.cell("AND2_X1")
+        x4 = lib.cell("AND2_X4")
+        load = 20.0
+        assert x4.delay(load, lib.tau_ns) < x1.delay(load, lib.tau_ns)
+
+    def test_upsizing_costs_area_and_cap(self, lib):
+        x1, x4 = lib.cell("INV_X1"), lib.cell("INV_X4")
+        assert x4.area > x1.area
+        assert x4.input_cap > x1.input_cap
+
+    def test_xor_slowest_per_effort(self, lib):
+        # XOR has the worst logical effort of the 2-input functions.
+        assert (
+            lib.cell("XOR2_X1").logical_effort
+            > lib.cell("NAND2_X1").logical_effort
+        )
+
+    def test_resize_walks_the_ladder(self, lib):
+        x1 = lib.cell("INV_X1")
+        x2 = lib.resize(x1, +1)
+        assert x2.drive == 2
+        assert lib.resize(x1, -1) is None
+        top = lib.variants("INV")[-1]
+        assert lib.resize(top, +1) is None
+
+    def test_unknown_lookups_raise(self, lib):
+        with pytest.raises(KeyError):
+            lib.cell("FLUXCAP_X1")
+        with pytest.raises(KeyError):
+            lib.variants("MAJ3")
+
+    def test_num_inputs(self, lib):
+        assert lib.cell("INV_X1").num_inputs == 1
+        assert lib.cell("AOI21_X1").num_inputs == 3
+
+
+class TestScaledLibrary:
+    def test_8nm_is_smaller_and_faster(self):
+        base, scaled = nangate45(), scaled_library("8nm")
+        assert scaled.tau_ns < base.tau_ns
+        assert scaled.cell("INV_X1").area < base.cell("INV_X1").area
+        assert scaled.bit_pitch_um < base.bit_pitch_um
+
+    def test_8nm_shifts_relative_xor_cost(self):
+        """The domain-gap ingredient: XOR is relatively cheaper at 8nm."""
+        base, scaled = nangate45(), scaled_library("8nm")
+        base_ratio = base.cell("XOR2_X1").logical_effort / base.cell("NAND2_X1").logical_effort
+        scaled_ratio = (
+            scaled.cell("XOR2_X1").logical_effort / scaled.cell("NAND2_X1").logical_effort
+        )
+        assert scaled_ratio < base_ratio
+
+    def test_unknown_node_raises(self):
+        with pytest.raises(ValueError):
+            scaled_library("3nm")
+
+    def test_libraries_factory(self):
+        libs = LIBRARIES()
+        assert set(libs) == {"nangate45", "8nm"}
+        assert all(isinstance(v, CellLibrary) for v in libs.values())

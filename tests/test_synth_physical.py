@@ -1,0 +1,140 @@
+"""Tests for the physical-synthesis flow (repro.synth.physical)."""
+
+import numpy as np
+import pytest
+
+from repro.prefix import brent_kung, kogge_stone, random_graph, ripple_carry, sklansky
+from repro.synth import (
+    IOTiming,
+    SynthesisOptions,
+    analyze_timing,
+    buffer_fanout,
+    map_adder,
+    nangate45,
+    place_datapath,
+    size_gates,
+    synthesize,
+)
+
+
+@pytest.fixture(scope="module")
+def lib():
+    return nangate45()
+
+
+class TestBuffering:
+    def test_caps_all_fanouts(self, lib):
+        nl = map_adder(sklansky(32), lib)
+        place_datapath(nl)
+        buffer_fanout(nl, max_fanout=4)
+        for net in range(len(nl.net_names)):
+            assert len(nl.net_sinks[net]) <= 4
+
+    def test_preserves_function(self, lib):
+        nl = map_adder(sklansky(8), lib)
+        place_datapath(nl)
+        buffer_fanout(nl, max_fanout=3)
+        nl.validate()
+        out = nl.evaluate(
+            {**{f"a[{i}]": bool((170 >> i) & 1) for i in range(8)},
+             **{f"b[{i}]": bool((85 >> i) & 1) for i in range(8)}}
+        )
+        s = sum(int(out[f"s[{i}]"]) << i for i in range(8))
+        assert s == (170 + 85) & 0xFF
+
+    def test_no_buffers_needed_for_low_fanout(self, lib):
+        nl = map_adder(ripple_carry(8), lib)
+        assert buffer_fanout(nl, max_fanout=4) == 0
+
+    def test_rejects_tiny_max_fanout(self, lib):
+        nl = map_adder(ripple_carry(4), lib)
+        with pytest.raises(ValueError):
+            buffer_fanout(nl, max_fanout=1)
+
+    def test_buffering_helps_high_fanout_timing(self, lib):
+        """Sklansky's worst nets benefit from buffer trees."""
+        raw = map_adder(sklansky(32), lib)
+        place_datapath(raw)
+        unbuffered = analyze_timing(raw).delay_ns
+        buffered_nl = map_adder(sklansky(32), lib)
+        place_datapath(buffered_nl)
+        buffer_fanout(buffered_nl, max_fanout=4)
+        place_datapath(buffered_nl)
+        buffered = analyze_timing(buffered_nl).delay_ns
+        assert buffered < unbuffered
+
+
+class TestSizing:
+    def test_sizing_reduces_delay(self, lib):
+        nl = map_adder(sklansky(16), lib)
+        place_datapath(nl)
+        buffer_fanout(nl, 4)
+        place_datapath(nl)
+        before = analyze_timing(nl).delay_ns
+        report = size_gates(nl, IOTiming(), passes=6)
+        assert report.delay_ns <= before
+
+    def test_sizing_without_recovery_uses_more_area(self, lib):
+        def flow(area_recovery):
+            nl = map_adder(sklansky(16), lib)
+            place_datapath(nl)
+            buffer_fanout(nl, 4)
+            place_datapath(nl)
+            size_gates(nl, IOTiming(), passes=6, area_recovery=area_recovery)
+            return nl.area()
+
+        assert flow(area_recovery=True) <= flow(area_recovery=False)
+
+
+class TestSynthesize:
+    def test_deterministic(self, lib):
+        a = synthesize(sklansky(16), lib)
+        b = synthesize(sklansky(16), lib)
+        assert a.area_um2 == b.area_um2
+        assert a.delay_ns == b.delay_ns
+
+    def test_result_fields(self, lib):
+        r = synthesize(brent_kung(16), lib)
+        assert r.area_um2 > 0 and r.delay_ns > 0
+        assert r.num_gates > 0 and r.wirelength_um > 0
+        assert sum(r.cell_counts.values()) == r.num_gates
+        assert r.critical_output
+
+    def test_landscape_orderings(self, lib):
+        """The qualitative trade-offs the paper's search exploits."""
+        ripple = synthesize(ripple_carry(32), lib)
+        skl = synthesize(sklansky(32), lib)
+        ks = synthesize(kogge_stone(32), lib)
+        bk = synthesize(brent_kung(32), lib)
+        # Ripple: minimum area, maximum delay.
+        assert ripple.area_um2 < min(skl.area_um2, ks.area_um2, bk.area_um2)
+        assert ripple.delay_ns > max(skl.delay_ns, ks.delay_ns, bk.delay_ns)
+        # Kogge-Stone: biggest of the log-depth structures.
+        assert ks.area_um2 > max(skl.area_um2, bk.area_um2)
+        # Brent-Kung: between ripple and KS in area, slower than Sklansky.
+        assert ripple.area_um2 < bk.area_um2 < ks.area_um2
+        assert bk.delay_ns > skl.delay_ns
+
+    def test_mapping_style_option(self, lib):
+        aoi = synthesize(sklansky(8), lib, options=SynthesisOptions(mapping_style="aoi"))
+        andor = synthesize(sklansky(8), lib, options=SynthesisOptions(mapping_style="andor"))
+        assert aoi.delay_ns != andor.delay_ns or aoi.area_um2 != andor.area_um2
+
+    def test_io_timing_flows_through(self, lib):
+        base = synthesize(sklansky(8), lib)
+        late = synthesize(
+            sklansky(8), lib,
+            io_timing=IOTiming(input_arrival={f"a[{i}]": 0.5 for i in range(8)}),
+        )
+        assert late.delay_ns > base.delay_ns
+
+    def test_random_graphs_synthesize(self, lib):
+        rng = np.random.default_rng(0)
+        for _ in range(5):
+            r = synthesize(random_graph(12, rng, 0.3), lib)
+            assert r.delay_ns > 0 and r.area_um2 > 0
+
+    def test_gray_circuit_smaller_than_adder(self, lib):
+        adder = synthesize(sklansky(16), lib, circuit_type="adder")
+        gray = synthesize(sklansky(16), lib, circuit_type="gray")
+        assert gray.area_um2 < adder.area_um2

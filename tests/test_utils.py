@@ -1,0 +1,67 @@
+"""Tests for utilities (repro.utils)."""
+
+import numpy as np
+import pytest
+
+from repro.prefix import sklansky
+from repro.utils import make_rng, seed_sequence, spawn
+from repro.utils.plotting import ascii_plot, ascii_scatter, format_series_csv, render_prefix_graph
+from repro.utils.tables import format_median_iqr, format_table
+
+
+class TestRng:
+    def test_make_rng_deterministic(self):
+        assert make_rng(1).random() == make_rng(1).random()
+
+    def test_spawn_children_independent(self):
+        children = spawn(make_rng(0), 3)
+        values = [c.random() for c in children]
+        assert len(set(values)) == 3
+
+    def test_seed_sequence_stable(self):
+        assert seed_sequence(42, 5) == seed_sequence(42, 5)
+        assert len(set(seed_sequence(42, 5))) == 5
+
+
+class TestPlotting:
+    def test_ascii_plot_contains_markers_and_legend(self):
+        text = ascii_plot(
+            {"a": ([0, 1, 2], [3.0, 2.0, 1.0]), "b": ([0, 1, 2], [1.0, 2.0, 3.0])},
+            title="demo",
+        )
+        assert "demo" in text
+        assert "* = a" in text and "o = b" in text
+
+    def test_ascii_plot_handles_nan(self):
+        text = ascii_plot({"a": ([0, 1], [float("nan"), 2.0])})
+        assert "2" in text  # y-range shows the finite value
+
+    def test_ascii_scatter_runs(self):
+        text = ascii_scatter({"pts": ([1.0, 2.0], [1.0, 4.0])}, xlabel="area", ylabel="delay")
+        assert "area" in text and "delay" in text
+
+    def test_render_prefix_graph(self):
+        text = render_prefix_graph(sklansky(4), label="skl4")
+        lines = text.splitlines()
+        assert lines[0] == "skl4"
+        assert lines[1] == "o"  # row 0: diagonal only
+        assert "nodes=" in lines[-1]
+        # row widths are 1..n
+        assert [len(l) for l in lines[1:5]] == [1, 2, 3, 4]
+
+    def test_format_series_csv(self):
+        csv = format_series_csv(["x", "y"], [[1, 2.5], [2, 3.5]])
+        assert csv.splitlines()[0] == "x,y"
+        assert "2.5" in csv
+
+
+class TestTables:
+    def test_median_iqr_format_matches_paper(self):
+        assert format_median_iqr(4.54, 4.52, 4.55) == "4.54 (4.52 - 4.55)"
+
+    def test_format_table_aligns(self):
+        text = format_table(["method", "cost"], [["VAE", "4.54"], ["GA", "4.65"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert lines[0].startswith("method")
+        assert set(lines[1]) <= {"-", "+"}
