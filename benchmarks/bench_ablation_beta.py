@@ -16,7 +16,7 @@ from repro.opt import aggregate_curves, run_method
 from repro.utils.rng import seed_sequence
 from repro.utils.tables import format_table
 
-from common import BITWIDTHS, BUDGET, SEEDS, once, vae_config
+from common import BITWIDTHS, BUDGET, evaluation_engine, once, SEEDS, vae_config
 
 BETAS = [0.0001, 0.01, 1.0]
 
@@ -30,7 +30,7 @@ def run_beta_sweep():
         cfg = replace(cfg, train=replace(cfg.train, beta=beta))
         records = run_method(
             lambda s, c=cfg: CircuitVAEOptimizer(c), task, BUDGET, seeds,
-            method_name=f"beta={beta}",
+            method_name=f"beta={beta}", engine=evaluation_engine(),
         )
         finals[beta] = float(aggregate_curves(records, [BUDGET])["median"][0])
     return finals

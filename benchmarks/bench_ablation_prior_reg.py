@@ -17,7 +17,7 @@ from repro.opt import aggregate_curves, run_method
 from repro.utils.rng import seed_sequence
 from repro.utils.tables import format_table
 
-from common import BITWIDTHS, BUDGET, SEEDS, once, vae_config
+from common import BITWIDTHS, BUDGET, evaluation_engine, once, SEEDS, vae_config
 
 
 def regime_factories():
@@ -40,7 +40,10 @@ def run_regimes():
     seeds = seed_sequence(0, SEEDS)
     finals = {}
     for name, factory in regime_factories().items():
-        records = run_method(factory, task, BUDGET, seeds, method_name=name)
+        records = run_method(
+            factory, task, BUDGET, seeds, method_name=name,
+            engine=evaluation_engine(),
+        )
         agg = aggregate_curves(records, [BUDGET])
         finals[name] = float(agg["median"][0])
     return finals

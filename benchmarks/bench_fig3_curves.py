@@ -14,12 +14,15 @@ from repro.circuits import adder_task
 from repro.opt import aggregate_curves, run_comparison
 from repro.utils.plotting import ascii_plot, format_series_csv
 
-from common import BITWIDTHS, BUDGET, DELAY_WEIGHTS, SEEDS, method_factories, once
+from common import BITWIDTHS, BUDGET, DELAY_WEIGHTS, SEEDS, evaluation_engine, method_factories, once
 
 
 def run_panel(n, omega):
     task = adder_task(n, omega)
-    results = run_comparison(method_factories(), task, budget=BUDGET, num_seeds=SEEDS)
+    results = run_comparison(
+        method_factories(), task, budget=BUDGET, num_seeds=SEEDS,
+        engine=evaluation_engine(),
+    )
     budgets = list(range(BUDGET // 8, BUDGET + 1, BUDGET // 8))
     series = {}
     rows = []

@@ -22,7 +22,7 @@ from repro.opt import aggregate_curves, run_method
 from repro.prefix import sklansky
 from repro.utils.plotting import ascii_plot, format_series_csv
 
-from common import BITWIDTHS, BUDGET, SEEDS, once, vae_config
+from common import BITWIDTHS, BUDGET, evaluation_engine, once, SEEDS, vae_config
 
 
 def variant_factories(n):
@@ -56,7 +56,10 @@ def run_ablations():
 
     seeds = seed_sequence(0, SEEDS)
     for name, factory in variant_factories(n).items():
-        records = run_method(factory, task, BUDGET, seeds, method_name=name)
+        records = run_method(
+            factory, task, BUDGET, seeds, method_name=name,
+            engine=evaluation_engine(),
+        )
         agg = aggregate_curves(records, budgets)
         series[name] = (budgets, agg["median"].tolist())
         finals[name] = float(agg["median"][-1])

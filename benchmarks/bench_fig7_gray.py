@@ -12,12 +12,15 @@ from repro.circuits import gray_to_binary_task
 from repro.opt import aggregate_curves, run_comparison
 from repro.utils.plotting import ascii_plot, format_series_csv
 
-from common import BUDGET, GRAY_BITS, SEEDS, method_factories, once
+from common import BUDGET, GRAY_BITS, SEEDS, evaluation_engine, method_factories, once
 
 
 def run_gray():
     task = gray_to_binary_task(n=GRAY_BITS, delay_weight=0.6)
-    results = run_comparison(method_factories(), task, budget=BUDGET, num_seeds=SEEDS)
+    results = run_comparison(
+        method_factories(), task, budget=BUDGET, num_seeds=SEEDS,
+        engine=evaluation_engine(),
+    )
     budgets = list(range(BUDGET // 8, BUDGET + 1, BUDGET // 8))
     series, rows = {}, []
     for method, records in results.items():

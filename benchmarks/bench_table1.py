@@ -14,7 +14,7 @@ from repro.circuits import adder_task
 from repro.opt import median_iqr, run_comparison, vae_speedup
 from repro.utils.tables import format_median_iqr, format_table
 
-from common import BITWIDTHS, HIGH_BUDGET, DELAY_WEIGHTS, SEEDS, method_factories, once
+from common import BITWIDTHS, DELAY_WEIGHTS, evaluation_engine, HIGH_BUDGET, method_factories, once, SEEDS
 
 
 def run_table():
@@ -23,7 +23,10 @@ def run_table():
     checks = []
     for omega in DELAY_WEIGHTS:
         task = adder_task(n, omega)
-        results = run_comparison(method_factories(), task, budget=HIGH_BUDGET, num_seeds=SEEDS)
+        results = run_comparison(
+            method_factories(), task, budget=HIGH_BUDGET, num_seeds=SEEDS,
+            engine=evaluation_engine(),
+        )
         vae_records = results["CircuitVAE"]
         for method in ("CircuitVAE", "GA", "RL", "BO"):
             records = results[method]

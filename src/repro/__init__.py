@@ -13,6 +13,9 @@ Subpackages
     Concrete design tasks (adders, gray-to-binary).
 ``repro.opt``
     Simulator facade, budgets, experiment harness, run statistics.
+``repro.engine``
+    Parallel, persistent, batched evaluation engine: shared disk cache,
+    multiprocessing synthesis pool, futures-style batch API, telemetry.
 ``repro.core``
     The CircuitVAE model and Algorithm 1.
 ``repro.baselines``

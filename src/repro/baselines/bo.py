@@ -26,6 +26,7 @@ from ..core.dataset import CircuitDataset
 from ..core.search import initialize_latents
 from ..core.training import train_model
 from ..core.vae import CircuitVAEModel, VAEConfig
+from ..engine.telemetry import stage
 from ..opt.optimizer import SearchAlgorithm
 from ..opt.simulator import CircuitSimulator, Evaluation
 from .gp import GaussianProcess, expected_improvement, median_lengthscale
@@ -92,36 +93,40 @@ class LatentBO(SearchAlgorithm):
         )
         optimizer = nn.Adam(self.model.parameters(), lr=vae_cfg.train.lr)
 
+        telemetry = simulator.telemetry
         first_round = True
         while not simulator.exhausted():
             epochs = vae_cfg.first_round_epochs if first_round else vae_cfg.train.epochs
-            train_model(
-                self.model,
-                self.dataset,
-                rng,
-                config=replace(vae_cfg.train, epochs=epochs),
-                optimizer=optimizer,
-            )
+            with stage(telemetry, "train"):
+                train_model(
+                    self.model,
+                    self.dataset,
+                    rng,
+                    config=replace(vae_cfg.train, epochs=epochs),
+                    optimizer=optimizer,
+                )
             first_round = False
 
-            # Fit the GP on (latent mean, cost) of the most promising points.
-            latents = self._latents_of_dataset()
-            costs = self.dataset.costs
-            if len(costs) > config.gp_max_points:
-                keep = np.argsort(costs)[: config.gp_max_points]
-                latents, costs = latents[keep], costs[keep]
-            gp = GaussianProcess(
-                lengthscale=median_lengthscale(latents, rng),
-                variance=1.0,
-                noise=config.gp_noise,
-            ).fit(latents, costs)
+            with stage(telemetry, "acquisition"):
+                # Fit the GP on (latent mean, cost) of the most promising
+                # points.
+                latents = self._latents_of_dataset()
+                costs = self.dataset.costs
+                if len(costs) > config.gp_max_points:
+                    keep = np.argsort(costs)[: config.gp_max_points]
+                    latents, costs = latents[keep], costs[keep]
+                gp = GaussianProcess(
+                    lengthscale=median_lengthscale(latents, rng),
+                    variance=1.0,
+                    noise=config.gp_noise,
+                ).fit(latents, costs)
 
-            # Maximize EI over the candidate pool; take the top batch.
-            candidates = self._candidate_pool(rng)
-            mean, std = gp.predict(candidates)
-            ei = expected_improvement(mean, std, best=float(costs.min()))
-            top = np.argsort(-ei)[: config.batch_per_round]
-            designs = self.model.sample_designs(candidates[top], rng)
+                # Maximize EI over the candidate pool; take the top batch.
+                candidates = self._candidate_pool(rng)
+                mean, std = gp.predict(candidates)
+                ei = expected_improvement(mean, std, best=float(costs.min()))
+                top = np.argsort(-ei)[: config.batch_per_round]
+                designs = self.model.sample_designs(candidates[top], rng)
             new_points = self.dataset.add_evaluations(simulator.query_many(designs))
             if new_points == 0 and not simulator.exhausted():
                 # All acquisitions decoded to known circuits: fall back to

@@ -15,6 +15,7 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..engine.telemetry import stage
 from ..opt.optimizer import SearchAlgorithm
 from ..opt.simulator import BudgetExhausted, CircuitSimulator, Evaluation
 from ..opt.variation import crossover, mutate, random_population
@@ -73,7 +74,10 @@ class GeneticAlgorithm(SearchAlgorithm):
     # ------------------------------------------------------------------
     def run(self, simulator: CircuitSimulator, rng: np.random.Generator) -> Evaluation:
         config = self.config
+        telemetry = simulator.telemetry
         population = self._initial_population(simulator.task.n, rng)
+        # Whole generations go through query_many, so an engine-backed
+        # simulator deduplicates and synthesizes each one in parallel.
         evaluations = simulator.query_many(population)
         if not evaluations:
             return simulator.best()
@@ -82,16 +86,17 @@ class GeneticAlgorithm(SearchAlgorithm):
 
         while not simulator.exhausted():
             self.generation += 1
-            elite_idx = np.argsort(fitness)[: config.elite_count]
-            children: List[PrefixGraph] = [population[int(i)] for i in elite_idx]
-            while len(children) < config.population_size:
-                parent_a = self._tournament(population, fitness, rng)
-                if rng.random() < config.crossover_prob:
-                    parent_b = self._tournament(population, fitness, rng)
-                    child = crossover(parent_a, parent_b, rng)
-                else:
-                    child = parent_a
-                children.append(mutate(child, rng, rate=config.mutation_rate))
+            with stage(telemetry, "variation"):
+                elite_idx = np.argsort(fitness)[: config.elite_count]
+                children: List[PrefixGraph] = [population[int(i)] for i in elite_idx]
+                while len(children) < config.population_size:
+                    parent_a = self._tournament(population, fitness, rng)
+                    if rng.random() < config.crossover_prob:
+                        parent_b = self._tournament(population, fitness, rng)
+                        child = crossover(parent_a, parent_b, rng)
+                    else:
+                        child = parent_a
+                    children.append(mutate(child, rng, rate=config.mutation_rate))
             evaluations = simulator.query_many(children)
             if not evaluations:
                 break

@@ -14,6 +14,7 @@ from typing import Optional
 import numpy as np
 
 from ..core.dataset import CircuitDataset
+from ..engine.telemetry import stage
 from ..opt.optimizer import SearchAlgorithm
 from ..opt.simulator import BudgetExhausted, CircuitSimulator, Evaluation
 from ..opt.variation import mutate, random_population
@@ -39,17 +40,24 @@ class RandomSearch(SearchAlgorithm):
 
     def run(self, simulator: CircuitSimulator, rng: np.random.Generator) -> Evaluation:
         config = self.config
+        telemetry = simulator.telemetry
         n = simulator.task.n
         dataset = CircuitDataset(k=config.k)
         try:
             for builder in STRUCTURES.values():
                 dataset.add_evaluations([simulator.query(builder(n))])
+            # Each proposal depends on the previous result, so this inner
+            # loop is inherently serial — the engine still serves it from
+            # the shared persistent cache.
             while not simulator.exhausted():
-                if rng.random() < config.random_fraction:
-                    proposal = random_population(n, 1, rng)[0]
-                else:
-                    idx = rng.choice(len(dataset), p=dataset.weights())
-                    proposal = mutate(dataset.graphs[idx], rng, config.mutation_rate)
+                with stage(telemetry, "proposal"):
+                    if rng.random() < config.random_fraction:
+                        proposal = random_population(n, 1, rng)[0]
+                    else:
+                        idx = rng.choice(len(dataset), p=dataset.weights())
+                        proposal = mutate(
+                            dataset.graphs[idx], rng, config.mutation_rate
+                        )
                 dataset.add_evaluations([simulator.query(proposal)])
         except BudgetExhausted:
             pass

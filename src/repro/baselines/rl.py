@@ -28,6 +28,7 @@ from typing import Deque, List, Optional, Tuple
 import numpy as np
 
 from .. import nn
+from ..engine.telemetry import stage
 from ..nn import functional as F
 from ..opt.optimizer import SearchAlgorithm
 from ..opt.simulator import BudgetExhausted, CircuitSimulator, Evaluation
@@ -172,6 +173,7 @@ class PrefixRL(SearchAlgorithm):
     # ------------------------------------------------------------------
     def run(self, simulator: CircuitSimulator, rng: np.random.Generator) -> Evaluation:
         config = self.config
+        telemetry = simulator.telemetry
         env = PrefixEnv(simulator, rng)
         self.q_net = QNetwork(env.n, env.num_actions, config, rng)
         self.target_net = QNetwork(env.n, env.num_actions, config, rng)
@@ -192,7 +194,8 @@ class PrefixRL(SearchAlgorithm):
                     state = next_state
                     self.steps += 1
                     if self.steps % config.train_every == 0:
-                        self._train_step(replay, optimizer, rng)
+                        with stage(telemetry, "train"):
+                            self._train_step(replay, optimizer, rng)
                     if self.steps % config.target_sync_every == 0:
                         self.target_net.load_state_dict(self.q_net.state_dict())
                     if simulator.exhausted():

@@ -17,6 +17,7 @@ from typing import List, Optional
 import numpy as np
 
 from .. import nn
+from ..engine.telemetry import stage
 from ..opt.optimizer import SearchAlgorithm
 from ..opt.simulator import BudgetExhausted, CircuitSimulator, Evaluation
 from ..opt.variation import mutate, random_population
@@ -113,6 +114,10 @@ class CircuitVAEOptimizer(SearchAlgorithm):
 
     def run(self, simulator: CircuitSimulator, rng: np.random.Generator) -> Evaluation:
         config = self.config
+        # Per-run engine telemetry (None against a plain serial simulator):
+        # training/search/decode stages land next to the engine's own
+        # synthesis/cache counters in the RunRecord.
+        telemetry = simulator.telemetry
         model = self._ensure_model(simulator.task.n, rng)
         self.dataset = build_initial_dataset(
             simulator, config.initial_samples, rng, k=config.k
@@ -123,13 +128,14 @@ class CircuitVAEOptimizer(SearchAlgorithm):
         while not simulator.exhausted():
             # Lines 4-5: reweight and refit on the grown dataset.
             epochs = config.first_round_epochs if first_round else config.train.epochs
-            train_model(
-                model,
-                self.dataset,
-                rng,
-                config=replace(config.train, epochs=epochs),
-                optimizer=optimizer,
-            )
+            with stage(telemetry, "train"):
+                train_model(
+                    model,
+                    self.dataset,
+                    rng,
+                    config=replace(config.train, epochs=epochs),
+                    optimizer=optimizer,
+                )
             first_round = False
 
             # Lines 6-8: initialize and run prior-regularized search.
@@ -141,11 +147,14 @@ class CircuitVAEOptimizer(SearchAlgorithm):
                 mode=config.search.init_mode,
                 fixed_graph=config.fixed_init_graph,
             )
-            trace = latent_gradient_search(model, z0, rng, config.search)
+            trace = latent_gradient_search(
+                model, z0, rng, config.search, telemetry=telemetry
+            )
             self.traces.append(trace)
 
             # Lines 9-11: decode, query, extend the dataset.
-            designs = model.sample_designs(trace.captured_latents, rng)
+            with stage(telemetry, "decode"):
+                designs = model.sample_designs(trace.captured_latents, rng)
             evaluations = simulator.query_many(designs)
             new_points = self.dataset.add_evaluations(evaluations)
             if simulator.history:

@@ -28,6 +28,7 @@ from typing import List, Literal, Optional, Tuple
 import numpy as np
 
 from .. import nn
+from ..engine.telemetry import EngineTelemetry, stage
 from ..prefix.graph import PrefixGraph
 from .dataset import CircuitDataset
 from .vae import CircuitVAEModel
@@ -100,6 +101,7 @@ def latent_gradient_search(
     z0: np.ndarray,
     rng: np.random.Generator,
     config: SearchConfig,
+    telemetry: Optional[EngineTelemetry] = None,
 ) -> SearchTrace:
     """Minimize g(z) = f_pi(z) - gamma * log p(z) by gradient descent.
 
@@ -107,7 +109,19 @@ def latent_gradient_search(
     log-uniformly from [gamma_low, gamma_high] (Sec. 5.3 found this beats
     any single gamma).  Returns captured latents at every
     ``capture_every``-step checkpoint *including* the final step.
+    Wall-clock is charged to the ``latent_search`` stage of ``telemetry``
+    (usually the engine-backed simulator's per-run counters) when given.
     """
+    with stage(telemetry, "latent_search"):
+        return _latent_gradient_search(model, z0, rng, config)
+
+
+def _latent_gradient_search(
+    model: CircuitVAEModel,
+    z0: np.ndarray,
+    rng: np.random.Generator,
+    config: SearchConfig,
+) -> SearchTrace:
     z0 = np.atleast_2d(np.asarray(z0, dtype=np.float64))
     m = z0.shape[0]
     if config.gamma_low <= 0 or config.gamma_high < config.gamma_low:

@@ -1,0 +1,70 @@
+"""``repro.engine`` — parallel, persistent, batched evaluation engine.
+
+The single evaluation path for every search method in the reproduction.
+The scalar oracle API (:class:`~repro.opt.simulator.CircuitSimulator`)
+stays exactly as the paper's accounting needs it; underneath, the engine
+adds the production machinery the ROADMAP's north star calls for:
+
+``cache``
+    :class:`EvaluationCache` — persistent canonical-key result store: an
+    in-memory LRU front over append-only JSONL shards shared across runs,
+    seeds, methods and benchmark invocations.  Keys combine the legalized
+    graph's packed-bit identity with a SHA-256 *task fingerprint* of the
+    synthesis-relevant configuration (``omega`` excluded, so delay-weight
+    sweeps share synthesis results and cost is recomputed at serve time).
+``pool``
+    :class:`SynthesisPool` — multiprocessing workers that synthesize
+    batches of unique legalized graphs in parallel, with a serial
+    fallback.  Only metrics cross the process boundary; accounting stays
+    in the parent.
+``batch``
+    :class:`EvalBatch` / :class:`EvalFuture` — futures-style
+    ``submit``/``gather`` over any simulator.
+``service``
+    :class:`EvaluationEngine` (shared cache + pool + telemetry) and
+    :class:`EngineSimulator`, the drop-in ``CircuitSimulator`` facade.
+``telemetry``
+    :class:`EngineTelemetry` — cache hit-rate, synthesis throughput and
+    per-stage timers, snapshotted into every ``RunRecord``.
+
+Guarantees
+----------
+Engine-backed runs are **bit-identical** to serial runs: batch
+classification walks designs in submission order and assigns budget +
+``sim_index`` before any parallel work starts, and a persistent-cache hit
+still charges the budget (it removes physical synthesis work, not
+paper-semantics accounting).  Warm caches therefore change wall-clock
+only — a repeated benchmark invocation performs zero new synthesis calls
+and produces the same curves.
+
+Environment knobs
+-----------------
+``REPRO_CACHE_DIR``
+    Directory for the persistent disk cache.  Unset (the default) keeps
+    the cache memory-only.  Format: ``<dir>/<task-fingerprint>.jsonl``,
+    one ``{"k": <hex packed grid>, "a": <area_um2>, "d": <delay_ns>}``
+    record per line, append-only, last-writer-wins, crash-tolerant.
+``REPRO_ENGINE_WORKERS``
+    Default worker-process count for :class:`SynthesisPool` (1 = serial,
+    no processes spawned).  Explicit constructor arguments win.
+"""
+
+from .batch import EvalBatch, EvalFuture
+from .cache import EvaluationCache, default_cache_dir, task_fingerprint
+from .pool import SynthesisPool, default_worker_count
+from .service import EngineSimulator, EvaluationEngine
+from .telemetry import EngineTelemetry, stage
+
+__all__ = [
+    "EvaluationEngine",
+    "EngineSimulator",
+    "EvaluationCache",
+    "task_fingerprint",
+    "default_cache_dir",
+    "SynthesisPool",
+    "default_worker_count",
+    "EvalBatch",
+    "EvalFuture",
+    "EngineTelemetry",
+    "stage",
+]

@@ -1,0 +1,100 @@
+"""Futures-style submit/gather API over any simulator.
+
+Search algorithms often *generate* candidates incrementally but are happy
+to *evaluate* them together.  :class:`EvalBatch` separates those phases:
+
+>>> batch = EvalBatch(simulator)
+>>> futures = [batch.submit(design) for design in candidates]
+>>> evaluations = batch.gather()          # one parallel pool submission
+>>> futures[0].result()                   # or per-future access
+
+``gather`` routes through ``simulator.query_plan`` — so against an
+:class:`~repro.engine.service.EngineSimulator` the whole batch is
+deduplicated, cache-served and synthesized in parallel, while against a
+plain serial :class:`~repro.opt.simulator.CircuitSimulator` it degrades
+to the exact serial loop.  Either way the semantics (budget accounting,
+``sim_index`` assignment, refusal behaviour) are identical.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+from ..opt.simulator import BudgetExhausted, CircuitSimulator, Evaluation
+from ..prefix.graph import PrefixGraph
+
+__all__ = ["EvalFuture", "EvalBatch"]
+
+
+class EvalFuture:
+    """Handle for one submitted design; resolved by ``EvalBatch.gather``."""
+
+    __slots__ = ("_evaluation", "_refused", "_resolved")
+
+    def __init__(self) -> None:
+        self._evaluation: Optional[Evaluation] = None
+        self._refused = False
+        self._resolved = False
+
+    def _resolve(self, evaluation: Optional[Evaluation]) -> None:
+        self._evaluation = evaluation
+        self._refused = evaluation is None
+        self._resolved = True
+
+    @property
+    def done(self) -> bool:
+        return self._resolved
+
+    @property
+    def refused(self) -> bool:
+        """True when the budget refused this (new, unique) design."""
+        return self._resolved and self._refused
+
+    def result(self) -> Evaluation:
+        """The evaluation; raises like the scalar ``query`` would have.
+
+        ``BudgetExhausted`` if the design was refused, ``RuntimeError`` if
+        the owning batch has not been gathered yet.
+        """
+        if not self._resolved:
+            raise RuntimeError("future not resolved: call EvalBatch.gather() first")
+        if self._evaluation is None:
+            raise BudgetExhausted("simulation budget exhausted for this design")
+        return self._evaluation
+
+
+class EvalBatch:
+    """Collects designs, evaluates them in one ``query_plan`` round-trip."""
+
+    def __init__(self, simulator: CircuitSimulator) -> None:
+        self.simulator = simulator
+        self._designs: List[Union[PrefixGraph, np.ndarray]] = []
+        self._futures: List[EvalFuture] = []
+        self._gathered = False
+
+    def __len__(self) -> int:
+        return len(self._designs)
+
+    def submit(self, design: Union[PrefixGraph, np.ndarray]) -> EvalFuture:
+        """Enqueue a design; returns its future (resolved at gather time)."""
+        if self._gathered:
+            raise RuntimeError("batch already gathered; start a new EvalBatch")
+        future = EvalFuture()
+        self._designs.append(design)
+        self._futures.append(future)
+        return future
+
+    def gather(self) -> List[Evaluation]:
+        """Evaluate everything submitted; returns fulfilled evaluations.
+
+        Resolves every future, then returns the non-refused evaluations in
+        submission order — the same contract as ``query_many``.  Idempotent.
+        """
+        if not self._gathered:
+            plan = self.simulator.query_plan(self._designs)
+            for future, evaluation in zip(self._futures, plan):
+                future._resolve(evaluation)
+            self._gathered = True
+        return [f._evaluation for f in self._futures if f._evaluation is not None]

@@ -1,0 +1,161 @@
+"""Throughput, hit-rate and per-stage timing counters for the engine.
+
+One :class:`EngineTelemetry` instance is a thread-safe bag of counters and
+stage timers.  The engine keeps a global aggregate across every simulator
+it backs; each :class:`~repro.engine.service.EngineSimulator` additionally
+owns a per-run instance whose snapshot lands in
+:class:`~repro.opt.results.RunRecord.telemetry`, so every figure/table
+bench can report cache hit-rates and synthesis throughput alongside the
+paper's sample-efficiency numbers.
+
+This module is deliberately dependency-free (no ``repro`` imports) so the
+rest of the codebase — core, baselines — can record stage timings without
+creating import cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+__all__ = ["EngineTelemetry", "stage"]
+
+
+class EngineTelemetry:
+    """Counters for one engine (or one engine-backed run).
+
+    Counter semantics
+    -----------------
+    ``queries``
+        Designs submitted through ``query``/``query_plan``/``query_many``.
+    ``run_hits``
+        Served from the per-run memo (same design queried twice in a run).
+    ``memory_hits`` / ``disk_hits``
+        Served from the shared persistent cache (RAM front / loaded from
+        the on-disk store).  Both still charge the run's budget — the
+        cache removes *physical synthesis work*, never accounting.
+    ``inflight_hits``
+        Served by waiting on another thread's concurrent synthesis of the
+        same design (parallel seeds).  Not a cache hit: the work happened,
+        just once, elsewhere.
+    ``synth_calls``
+        Designs that actually went through the physical-synthesis flow.
+    ``budget_refusals``
+        Batch entries skipped because the budget was exhausted.
+    ``batches`` / ``batch_designs``
+        Parallel batch submissions and their total size.
+    """
+
+    _COUNTERS = (
+        "queries",
+        "run_hits",
+        "memory_hits",
+        "disk_hits",
+        "inflight_hits",
+        "synth_calls",
+        "budget_refusals",
+        "batches",
+        "batch_designs",
+    )
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        for name in self._COUNTERS:
+            setattr(self, name, 0)
+        self.stage_seconds: Dict[str, float] = {}
+        self.stage_calls: Dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    def add(self, counter: str, amount: int = 1) -> None:
+        """Atomically bump one of the named counters."""
+        if counter not in self._COUNTERS:
+            raise KeyError(f"unknown telemetry counter {counter!r}")
+        with self._lock:
+            setattr(self, counter, getattr(self, counter) + amount)
+
+    def add_stage_time(self, name: str, seconds: float, calls: int = 1) -> None:
+        with self._lock:
+            self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + seconds
+            self.stage_calls[name] = self.stage_calls.get(name, 0) + calls
+
+    @contextmanager
+    def time(self, name: str) -> Iterator[None]:
+        """Context manager charging wall-clock to stage ``name``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.add_stage_time(name, time.perf_counter() - start)
+
+    # ------------------------------------------------------------------
+    @property
+    def cache_hits(self) -> int:
+        """Persistent-cache hits (memory + disk, excluding run memos)."""
+        return self.memory_hits + self.disk_hits
+
+    def hit_rate(self) -> float:
+        """Fraction of charged evaluations served without synthesis."""
+        charged = self.cache_hits + self.synth_calls
+        return self.cache_hits / charged if charged else 0.0
+
+    def synth_throughput(self) -> float:
+        """Physical synthesis calls per second of synthesis wall-clock."""
+        seconds = self.stage_seconds.get("synthesis", 0.0)
+        return self.synth_calls / seconds if seconds > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly snapshot (the shape stored in RunRecord)."""
+        with self._lock:
+            payload: Dict[str, object] = {
+                name: getattr(self, name) for name in self._COUNTERS
+            }
+            payload["stage_seconds"] = dict(self.stage_seconds)
+            payload["stage_calls"] = dict(self.stage_calls)
+        payload["cache_hits"] = payload["memory_hits"] + payload["disk_hits"]  # type: ignore[operator]
+        payload["hit_rate"] = self.hit_rate()
+        payload["synth_throughput"] = self.synth_throughput()
+        return payload
+
+    def merge(self, other: "EngineTelemetry") -> None:
+        """Fold another telemetry instance into this one."""
+        snapshot = other.as_dict()
+        for name in self._COUNTERS:
+            self.add(name, int(snapshot[name]))
+        for name, seconds in snapshot["stage_seconds"].items():  # type: ignore[union-attr]
+            self.add_stage_time(
+                name, float(seconds), calls=int(snapshot["stage_calls"][name])  # type: ignore[index]
+            )
+
+    def __repr__(self) -> str:
+        return (
+            f"EngineTelemetry(queries={self.queries}, hits={self.cache_hits}, "
+            f"synth={self.synth_calls}, hit_rate={self.hit_rate():.2f})"
+        )
+
+
+@contextmanager
+def stage(telemetry: Optional[EngineTelemetry], name: str) -> Iterator[None]:
+    """Time a named stage, or do nothing when ``telemetry`` is None.
+
+    Algorithms call ``stage(getattr(simulator, "telemetry", None), "train")``
+    so the same code runs unchanged against the plain serial simulator.
+    """
+    if telemetry is None:
+        yield
+        return
+    with telemetry.time(name):
+        yield
+
+
+@contextmanager
+def stage_all(telemetries, name: str) -> Iterator[None]:
+    """Charge one wall-clock measurement to several telemetry sinks."""
+    start = time.perf_counter()
+    try:
+        yield
+    finally:
+        elapsed = time.perf_counter() - start
+        for telemetry in telemetries:
+            telemetry.add_stage_time(name, elapsed)

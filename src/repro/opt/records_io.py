@@ -23,7 +23,7 @@ _FORMAT_VERSION = 1
 
 
 def _record_to_dict(record: RunRecord) -> Dict:
-    return {
+    payload = {
         "method": record.method,
         "task_name": record.task_name,
         "seed": record.seed,
@@ -31,6 +31,9 @@ def _record_to_dict(record: RunRecord) -> Dict:
         "areas": record.areas.tolist(),
         "delays": record.delays.tolist(),
     }
+    if record.telemetry is not None:
+        payload["telemetry"] = record.telemetry
+    return payload
 
 
 def _record_from_dict(payload: Dict) -> RunRecord:
@@ -46,6 +49,7 @@ def _record_from_dict(payload: Dict) -> RunRecord:
         costs=costs,
         areas=areas,
         delays=delays,
+        telemetry=payload.get("telemetry"),
     )
 
 

@@ -42,10 +42,14 @@ class RunRecord:
     costs: np.ndarray  # cost of each unique simulation, in query order
     areas: np.ndarray
     delays: np.ndarray
+    #: engine telemetry snapshot (cache hit-rate, synthesis throughput,
+    #: per-stage seconds) when the run used an engine-backed simulator.
+    telemetry: Optional[Dict] = None
 
     @classmethod
     def from_simulator(cls, method: str, seed: int, simulator: CircuitSimulator) -> "RunRecord":
         history = simulator.history
+        telemetry = simulator.telemetry
         return cls(
             method=method,
             task_name=simulator.task.name,
@@ -53,6 +57,7 @@ class RunRecord:
             costs=np.array([e.cost for e in history]),
             areas=np.array([e.area_um2 for e in history]),
             delays=np.array([e.delay_ns for e in history]),
+            telemetry=telemetry.as_dict() if telemetry is not None else None,
         )
 
     @property

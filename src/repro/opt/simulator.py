@@ -16,7 +16,7 @@ Wraps a :class:`~repro.circuits.task.CircuitTask` with:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Union
+from typing import Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -50,6 +50,11 @@ class CircuitSimulator:
         self.budget = budget
         self._cache: Dict[bytes, Evaluation] = {}
         self.history: List[Evaluation] = []
+        #: per-run engine telemetry; None on the plain serial simulator,
+        #: an EngineTelemetry on repro.engine's EngineSimulator.  Declared
+        #: here so algorithms can time their stages with a plain attribute
+        #: access regardless of backend.
+        self.telemetry = None
 
     # ------------------------------------------------------------------
     @property
@@ -73,6 +78,18 @@ class CircuitSimulator:
             return design
         return legalize(np.asarray(design))
 
+    def _synthesize(self, graph: PrefixGraph) -> Tuple[float, float, float]:
+        """Run physical synthesis on one new graph -> (cost, area, delay).
+
+        The single override point for alternative execution backends: the
+        batched/parallel/persistent engine
+        (:class:`repro.engine.service.EngineSimulator`) replaces only this
+        hook (and the batch planner), so budget, cache-identity and
+        history semantics live in exactly one place — here.
+        """
+        result = self.task.synthesize(graph)
+        return self.task.cost(result), result.area_um2, result.delay_ns
+
     def query(self, design: Union[PrefixGraph, np.ndarray]) -> Evaluation:
         """Synthesize a design (or return its cached evaluation).
 
@@ -88,31 +105,43 @@ class CircuitSimulator:
             raise BudgetExhausted(
                 f"simulation budget of {self.budget} exhausted on task {self.task.name}"
             )
-        result = self.task.synthesize(graph)
-        cost = self.task.cost(result)
+        cost, area_um2, delay_ns = self._synthesize(graph)
         evaluation = Evaluation(
             graph=graph,
             cost=cost,
-            area_um2=result.area_um2,
-            delay_ns=result.delay_ns,
+            area_um2=area_um2,
+            delay_ns=delay_ns,
             sim_index=self.num_simulations + 1,
         )
         self._cache[key] = evaluation
         self.history.append(evaluation)
         return evaluation
 
-    def query_many(self, designs) -> List[Evaluation]:
-        """Query a batch, stopping silently when the budget runs out.
+    def query_plan(self, designs) -> List[Optional[Evaluation]]:
+        """Query a batch, one slot per design; None marks a budget refusal.
 
-        Returns the evaluations obtained (cached hits are always served).
+        Scans the *whole* batch even after the budget runs out: cached
+        designs (including duplicates of entries synthesized earlier in
+        this very batch) are always served, only genuinely-new designs are
+        refused.  ``repro.engine`` overrides this with a batched parallel
+        planner that preserves these exact semantics.
         """
-        out: List[Evaluation] = []
+        plan: List[Optional[Evaluation]] = []
         for design in designs:
             try:
-                out.append(self.query(design))
+                plan.append(self.query(design))
             except BudgetExhausted:
-                break
-        return out
+                plan.append(None)
+        return plan
+
+    def query_many(self, designs) -> List[Evaluation]:
+        """Query a batch, silently skipping designs the budget refuses.
+
+        Returns the evaluations obtained, in design order.  Cached hits
+        are always served, even for designs that appear *after* the budget
+        runs out mid-batch.
+        """
+        return [e for e in self.query_plan(designs) if e is not None]
 
     # ------------------------------------------------------------------
     def best(self) -> Evaluation:

@@ -13,6 +13,7 @@ from .encoding import (
     grid_to_graph,
     num_free_cells,
     random_graph,
+    unique_random_graphs,
 )
 from .graph import PrefixGraph, Span
 from .io import graph_from_dict, graph_to_dict, load_designs, save_designs
@@ -77,6 +78,7 @@ __all__ = [
     "graph_to_grid",
     "grid_to_graph",
     "random_graph",
+    "unique_random_graphs",
     "node_count",
     "depth",
     "max_fanout",

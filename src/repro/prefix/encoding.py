@@ -29,6 +29,7 @@ __all__ = [
     "graph_to_grid",
     "grid_to_graph",
     "random_graph",
+    "unique_random_graphs",
 ]
 
 
@@ -83,3 +84,39 @@ def random_graph(n: int, rng: np.random.Generator, density: float = 0.2) -> Pref
     """
     bits = rng.random(num_free_cells(n)) < density
     return bits_to_graph(bits, n)
+
+
+def unique_random_graphs(
+    n: int,
+    count: int,
+    rng: np.random.Generator,
+    density_low: float = 0.1,
+    density_high: float = 0.6,
+) -> list:
+    """``count`` random legal graphs with pairwise-distinct canonical keys.
+
+    Rejection-samples :func:`random_graph` at densities drawn uniformly
+    from [density_low, density_high] until ``count`` distinct circuits
+    (by :meth:`~repro.prefix.graph.PrefixGraph.key`) are collected — the
+    workload generator used by the engine tests and throughput benches,
+    where batches must contain no duplicate synthesis work.  Raises
+    ``ValueError`` instead of spinning forever when the space is too
+    small (tiny ``n``, e.g. n=2 has exactly one legal graph).
+    """
+    graphs, seen = [], set()
+    budget = max(1000, 200 * count)
+    attempts = 0
+    while len(graphs) < count:
+        if attempts >= budget:
+            raise ValueError(
+                f"could not sample {count} distinct legal graphs for n={n} "
+                f"in {budget} attempts (found {len(graphs)}); the design "
+                f"space is likely smaller than count"
+            )
+        attempts += 1
+        density = density_low + (density_high - density_low) * rng.random()
+        graph = random_graph(n, rng, density)
+        if graph.key() not in seen:
+            seen.add(graph.key())
+            graphs.append(graph)
+    return graphs

@@ -1,0 +1,39 @@
+"""Shared test utilities (imported as a plain module, no package needed).
+
+pytest's rootdir-based collection puts this directory on ``sys.path``, so
+test modules import from here with ``from helpers import ...`` — that is
+what lets ``pytest -x -q`` collect every module without ``__init__.py``
+files or relative imports.
+"""
+
+import numpy as np
+
+
+def unique_random_graphs(n, count, seed=0, base_density=0.1):
+    """``count`` random legal prefix graphs with pairwise-distinct keys."""
+    from repro.prefix import unique_random_graphs as _unique
+
+    return _unique(
+        n,
+        count,
+        np.random.default_rng(seed),
+        density_low=base_density,
+        density_high=base_density + 0.5,
+    )
+
+
+def numerical_grad(f, x, eps=1e-6):
+    """Central-difference gradient of scalar f() w.r.t. array x (in place)."""
+    grad = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        i = it.multi_index
+        orig = x[i]
+        x[i] = orig + eps
+        fp = f()
+        x[i] = orig - eps
+        fm = f()
+        x[i] = orig
+        grad[i] = (fp - fm) / (2 * eps)
+        it.iternext()
+    return grad

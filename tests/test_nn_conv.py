@@ -11,7 +11,7 @@ from repro.nn.conv import (
     conv_transpose2d_forward,
 )
 
-from .test_nn_tensor import numerical_grad
+from helpers import numerical_grad
 
 
 def naive_conv2d(x, w, stride, padding):

@@ -3,25 +3,10 @@
 import numpy as np
 import pytest
 
+from helpers import numerical_grad
+
 from repro import nn
 from repro.nn.tensor import _unbroadcast, concatenate, stack, where
-
-
-def numerical_grad(f, x, eps=1e-6):
-    """Central-difference gradient of scalar f() w.r.t. array x (in place)."""
-    grad = np.zeros_like(x)
-    it = np.nditer(x, flags=["multi_index"])
-    while not it.finished:
-        i = it.multi_index
-        orig = x[i]
-        x[i] = orig + eps
-        fp = f()
-        x[i] = orig - eps
-        fm = f()
-        x[i] = orig
-        grad[i] = (fp - fm) / (2 * eps)
-        it.iternext()
-    return grad
 
 
 def check_grad(build, *shapes, seed=0, tol=1e-6):

@@ -68,6 +68,26 @@ class TestBudget:
         assert sim.num_simulations <= 5
         assert len(out) <= len(designs)
 
+    def test_query_many_serves_cache_hits_past_exhaustion(self, sim):
+        from helpers import unique_random_graphs
+
+        designs = unique_random_graphs(8, 7, seed=3)
+        # Duplicates placed *after* the budget-exhausting prefix must be
+        # served from cache, not dropped (the docstring's promise).
+        batch = designs + [designs[0], designs[4]]
+        out = sim.query_many(batch)
+        assert sim.num_simulations == 5
+        assert len(out) == 7  # 5 new + 2 cached duplicates
+        assert out[-2] is out[0]
+        assert out[-1] is out[4]
+
+    def test_query_plan_marks_refusals(self, sim):
+        from helpers import unique_random_graphs
+
+        designs = unique_random_graphs(8, 7, seed=4)
+        plan = sim.query_plan(designs)
+        assert [e is None for e in plan] == [False] * 5 + [True] * 2
+
     def test_unlimited_budget(self):
         sim = CircuitSimulator(adder_task(8, 0.5), budget=None)
         assert sim.remaining is None
