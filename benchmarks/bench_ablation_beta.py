@@ -4,36 +4,40 @@ The paper fixes beta = 0.01 everywhere.  This bench sweeps beta to show
 why: tiny beta lets posteriors drift from the prior (hurting
 prior-regularized search, whose pull targets the origin), huge beta
 collapses the latent code (hurting reconstruction and cost shaping).
+The three betas are labeled variants of one registered method in a
+single experiment spec.
 """
 
 import numpy as np
 import pytest
-from dataclasses import replace
 
-from repro.circuits import adder_task
-from repro.core import CircuitVAEOptimizer
-from repro.opt import aggregate_curves, run_method
-from repro.utils.rng import seed_sequence
+from repro.api import ExperimentSpec, MethodSpec, TaskSpec
 from repro.utils.tables import format_table
 
-from common import BITWIDTHS, BUDGET, evaluation_engine, once, SEEDS, vae_config
+from common import BITWIDTHS, BUDGET, once, SEEDS, session, vae_params
 
 BETAS = [0.0001, 0.01, 1.0]
 
 
 def run_beta_sweep():
-    task = adder_task(min(BITWIDTHS), 0.66)
-    seeds = seed_sequence(1, SEEDS)
-    finals = {}
-    for beta in BETAS:
-        cfg = vae_config()
-        cfg = replace(cfg, train=replace(cfg.train, beta=beta))
-        records = run_method(
-            lambda s, c=cfg: CircuitVAEOptimizer(c), task, BUDGET, seeds,
-            method_name=f"beta={beta}", engine=evaluation_engine(),
-        )
-        finals[beta] = float(aggregate_curves(records, [BUDGET])["median"][0])
-    return finals
+    base = vae_params()
+    spec = ExperimentSpec(
+        name=f"ablation-beta-{min(BITWIDTHS)}",
+        task=TaskSpec(circuit_type="adder", n=min(BITWIDTHS), delay_weight=0.66),
+        methods=tuple(
+            MethodSpec(
+                "CircuitVAE", label=f"beta={beta}",
+                params=vae_params(train={**base["train"], "beta": beta}),
+            )
+            for beta in BETAS
+        ),
+        budget=BUDGET,
+        num_seeds=SEEDS,
+        base_seed=1,
+    )
+    result = session().run(spec)
+    curves = result.curves([BUDGET])
+    return {beta: float(curves[f"beta={beta}"]["median"][0]) for beta in BETAS}
 
 
 def test_ablation_beta(benchmark):

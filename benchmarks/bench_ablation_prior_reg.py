@@ -4,49 +4,48 @@ The paper argues (Sec. 4.2) that a hard box around the origin — the
 constraint Tripp et al. use — is worse than the soft prior pull because a
 high-dimensional box has exponentially many uninhabited corners, and that
 *no* constraint overfits the surrogate.  This bench runs the full
-optimizer under the three regimes and compares achieved cost.
+optimizer under the three regimes (labeled search-config variants in one
+experiment spec) and compares achieved cost.
 """
 
 import numpy as np
 import pytest
-from dataclasses import replace
 
-from repro.circuits import adder_task
-from repro.core import CircuitVAEOptimizer
-from repro.opt import aggregate_curves, run_method
-from repro.utils.rng import seed_sequence
+from repro.api import ExperimentSpec, MethodSpec, TaskSpec
 from repro.utils.tables import format_table
 
-from common import BITWIDTHS, BUDGET, evaluation_engine, once, SEEDS, vae_config
+from common import BITWIDTHS, BUDGET, once, SEEDS, session, vae_params
 
 
-def regime_factories():
-    cfg = vae_config()
-    return {
-        "prior-reg (paper)": lambda s: CircuitVAEOptimizer(cfg),
-        "box-constraint": lambda s: CircuitVAEOptimizer(
-            replace(cfg, search=replace(cfg.search, box_constraint=3.0))
+def regime_specs():
+    base = vae_params()
+    search = base["search"]
+    return (
+        MethodSpec("CircuitVAE", label="prior-reg (paper)", params=base),
+        MethodSpec(
+            "CircuitVAE", label="box-constraint",
+            params=vae_params(search={**search, "box_constraint": 3.0}),
         ),
-        "unregularized": lambda s: CircuitVAEOptimizer(
-            replace(cfg, search=replace(
-                cfg.search, gamma_low=1e-6, gamma_high=2e-6, box_constraint=None
-            ))
+        MethodSpec(
+            "CircuitVAE", label="unregularized",
+            params=vae_params(search={
+                **search, "gamma_low": 1e-6, "gamma_high": 2e-6, "box_constraint": None,
+            }),
         ),
-    }
+    )
 
 
 def run_regimes():
-    task = adder_task(min(BITWIDTHS), 0.66)
-    seeds = seed_sequence(0, SEEDS)
-    finals = {}
-    for name, factory in regime_factories().items():
-        records = run_method(
-            factory, task, BUDGET, seeds, method_name=name,
-            engine=evaluation_engine(),
-        )
-        agg = aggregate_curves(records, [BUDGET])
-        finals[name] = float(agg["median"][0])
-    return finals
+    spec = ExperimentSpec(
+        name=f"ablation-prior-reg-{min(BITWIDTHS)}",
+        task=TaskSpec(circuit_type="adder", n=min(BITWIDTHS), delay_weight=0.66),
+        methods=regime_specs(),
+        budget=BUDGET,
+        num_seeds=SEEDS,
+    )
+    result = session().run(spec)
+    curves = result.curves([BUDGET])
+    return {name: float(agg["median"][0]) for name, agg in curves.items()}
 
 
 def test_ablation_prior_regularization(benchmark):

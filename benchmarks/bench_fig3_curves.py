@@ -10,28 +10,29 @@ budget, on every panel.
 import numpy as np
 import pytest
 
-from repro.circuits import adder_task
-from repro.opt import aggregate_curves, run_comparison
+from repro.api import ExperimentSpec, TaskSpec
 from repro.utils.plotting import ascii_plot, format_series_csv
 
-from common import BITWIDTHS, BUDGET, DELAY_WEIGHTS, SEEDS, evaluation_engine, method_factories, once
+from common import BITWIDTHS, BUDGET, DELAY_WEIGHTS, SEEDS, method_specs, once, session
 
 
 def run_panel(n, omega):
-    task = adder_task(n, omega)
-    results = run_comparison(
-        method_factories(), task, budget=BUDGET, num_seeds=SEEDS,
-        engine=evaluation_engine(),
+    spec = ExperimentSpec(
+        name=f"fig3-adder{n}-w{omega}",
+        task=TaskSpec(circuit_type="adder", n=n, delay_weight=omega),
+        methods=method_specs(),
+        budget=BUDGET,
+        num_seeds=SEEDS,
     )
-    budgets = list(range(BUDGET // 8, BUDGET + 1, BUDGET // 8))
+    result = session().run(spec)
+    budgets = result.budgets()
     series = {}
     rows = []
-    for method, records in results.items():
-        agg = aggregate_curves(records, budgets)
+    for method, agg in result.curves().items():
         series[method] = (budgets, agg["median"].tolist())
         for b, med, lo, hi in zip(budgets, agg["median"], agg["q25"], agg["q75"]):
             rows.append([n, omega, method, b, float(med), float(lo), float(hi)])
-    return series, rows, results
+    return series, rows, result.records
 
 
 @pytest.mark.parametrize("n", BITWIDTHS)

@@ -8,59 +8,60 @@ largest initial dataset):
 * search initialized from the prior,
 * search initialized from the Sklansky encoding.
 
+All four are labeled variants of the one registered "CircuitVAE" method
+in a single experiment spec — the Sklansky init travels as the structure
+*name*, resolved to a graph at the task bitwidth by the registry.
+
 Paper's finding to check: full CircuitVAE dominates; Sklansky init beats
 prior init; removing reweighting hurts.
 """
 
 import numpy as np
 import pytest
-from dataclasses import replace
 
-from repro.circuits import adder_task
-from repro.core import CircuitVAEOptimizer
-from repro.opt import aggregate_curves, run_method
-from repro.prefix import sklansky
+from repro.api import ExperimentSpec, MethodSpec, TaskSpec
 from repro.utils.plotting import ascii_plot, format_series_csv
 
-from common import BITWIDTHS, BUDGET, evaluation_engine, once, SEEDS, vae_config
+from common import BITWIDTHS, BUDGET, SEEDS, once, session, vae_params
 
 
-def variant_factories(n):
-    cfg = vae_config()
-    return {
-        "full": lambda s: CircuitVAEOptimizer(cfg),
-        "no-reweight": lambda s: CircuitVAEOptimizer(
-            replace(cfg, train=replace(cfg.train, reweight=False))
+def variant_specs():
+    base = vae_params()
+    return (
+        MethodSpec("CircuitVAE", label="full", params=base),
+        MethodSpec(
+            "CircuitVAE", label="no-reweight",
+            params=vae_params(train={**base["train"], "reweight": False}),
         ),
-        "prior-init": lambda s: CircuitVAEOptimizer(
-            replace(cfg, search=replace(cfg.search, init_mode="prior"))
+        MethodSpec(
+            "CircuitVAE", label="prior-init",
+            params=vae_params(search={**base["search"], "init_mode": "prior"}),
         ),
-        "sklansky-init": lambda s: CircuitVAEOptimizer(
-            replace(
-                cfg,
-                search=replace(cfg.search, init_mode="fixed-graph"),
-                fixed_init_graph=sklansky(n),
-            )
+        MethodSpec(
+            "CircuitVAE", label="sklansky-init",
+            params=vae_params(
+                search={**base["search"], "init_mode": "fixed-graph"},
+                fixed_init_graph="sklansky",
+            ),
         ),
-    }
+    )
 
 
 def run_ablations():
     # The paper ablates on 32-bit — its *smaller* experiment width; we
     # correspondingly use the smaller width of the scaled grid.
     n = min(BITWIDTHS)
-    task = adder_task(n, 0.66)
-    budgets = list(range(BUDGET // 8, BUDGET + 1, BUDGET // 8))
+    spec = ExperimentSpec(
+        name=f"fig4-ablations-{n}",
+        task=TaskSpec(circuit_type="adder", n=n, delay_weight=0.66),
+        methods=variant_specs(),
+        budget=BUDGET,
+        num_seeds=SEEDS,
+    )
+    result = session().run(spec)
+    budgets = result.budgets()
     series, rows, finals = {}, [], {}
-    from repro.utils.rng import seed_sequence
-
-    seeds = seed_sequence(0, SEEDS)
-    for name, factory in variant_factories(n).items():
-        records = run_method(
-            factory, task, BUDGET, seeds, method_name=name,
-            engine=evaluation_engine(),
-        )
-        agg = aggregate_curves(records, budgets)
+    for name, agg in result.curves().items():
         series[name] = (budgets, agg["median"].tolist())
         finals[name] = float(agg["median"][-1])
         for b, med in zip(budgets, agg["median"]):

@@ -3,28 +3,30 @@
 Same four-method comparison as Fig. 3 but on the XOR-prefix task of
 Sec. 5.5 (the paper: 26-bit, omega = 0.6, Nangate45).  The claim to
 check: CircuitVAE outperforms all baselines on this task too — the
-framework is circuit-type agnostic because only the cell mapping changes.
+framework is circuit-type agnostic because only the cell mapping changes,
+which at the spec level is a one-word edit: ``circuit_type="gray"``.
 """
 
 import pytest
 
-from repro.circuits import gray_to_binary_task
-from repro.opt import aggregate_curves, run_comparison
+from repro.api import ExperimentSpec, TaskSpec
 from repro.utils.plotting import ascii_plot, format_series_csv
 
-from common import BUDGET, GRAY_BITS, SEEDS, evaluation_engine, method_factories, once
+from common import BUDGET, GRAY_BITS, SEEDS, method_specs, once, session
 
 
 def run_gray():
-    task = gray_to_binary_task(n=GRAY_BITS, delay_weight=0.6)
-    results = run_comparison(
-        method_factories(), task, budget=BUDGET, num_seeds=SEEDS,
-        engine=evaluation_engine(),
+    spec = ExperimentSpec(
+        name=f"fig7-gray{GRAY_BITS}",
+        task=TaskSpec(circuit_type="gray", n=GRAY_BITS, delay_weight=0.6),
+        methods=method_specs(),
+        budget=BUDGET,
+        num_seeds=SEEDS,
     )
-    budgets = list(range(BUDGET // 8, BUDGET + 1, BUDGET // 8))
+    result = session().run(spec)
+    budgets = result.budgets()
     series, rows = {}, []
-    for method, records in results.items():
-        agg = aggregate_curves(records, budgets)
+    for method, agg in result.curves().items():
         series[method] = (budgets, agg["median"].tolist())
         for b, med, lo, hi in zip(budgets, agg["median"], agg["q25"], agg["q75"]):
             rows.append([GRAY_BITS, method, b, float(med), float(lo), float(hi)])

@@ -10,11 +10,11 @@ the lowest cost row-by-row, and speedups are typically > 2x.
 import numpy as np
 import pytest
 
-from repro.circuits import adder_task
-from repro.opt import median_iqr, run_comparison, vae_speedup
+from repro.api import ExperimentSpec, TaskSpec
+from repro.opt import median_iqr, vae_speedup
 from repro.utils.tables import format_median_iqr, format_table
 
-from common import BITWIDTHS, DELAY_WEIGHTS, evaluation_engine, HIGH_BUDGET, method_factories, once, SEEDS
+from common import BITWIDTHS, DELAY_WEIGHTS, HIGH_BUDGET, method_specs, once, SEEDS, session
 
 
 def run_table():
@@ -22,11 +22,14 @@ def run_table():
     all_rows = []
     checks = []
     for omega in DELAY_WEIGHTS:
-        task = adder_task(n, omega)
-        results = run_comparison(
-            method_factories(), task, budget=HIGH_BUDGET, num_seeds=SEEDS,
-            engine=evaluation_engine(),
+        spec = ExperimentSpec(
+            name=f"table1-adder{n}-w{omega}",
+            task=TaskSpec(circuit_type="adder", n=n, delay_weight=omega),
+            methods=method_specs(),
+            budget=HIGH_BUDGET,
+            num_seeds=SEEDS,
         )
+        results = session().run(spec).records
         vae_records = results["CircuitVAE"]
         for method in ("CircuitVAE", "GA", "RL", "BO"):
             records = results[method]

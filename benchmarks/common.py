@@ -8,16 +8,23 @@ full-size grid — identical code, larger constants.
 
 The qualitative comparisons (who wins at a budget, by what factor) are
 scale-stable; EXPERIMENTS.md records measured-vs-paper numbers.
+
+Benches describe their grids as :class:`repro.api.ExperimentSpec` values
+and run them through one process-wide :class:`repro.api.Session` — one
+persistent cache + worker pool for the whole bench process, so methods
+and seeds share synthesis results, and (with ``REPRO_CACHE_DIR`` set) so
+do *repeated invocations* of a bench, which then perform zero new
+synthesis calls.  ``REPRO_ENGINE_WORKERS`` (default 1 = serial) sizes the
+multiprocessing synthesis pool.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, Optional
+from typing import Dict, Optional, Tuple
 
-from repro.baselines import BOConfig, GAConfig, GeneticAlgorithm, LatentBO, PrefixRL, RandomSearch, RLConfig
-from repro.core import CircuitVAEConfig, CircuitVAEOptimizer, SearchConfig, TrainConfig
-from repro.engine import EvaluationEngine
+from repro.api import MethodSpec, Session, build_config
+from repro.core import CircuitVAEConfig
 
 SCALE = os.environ.get("REPRO_SCALE", "small")
 
@@ -42,51 +49,56 @@ else:
 
 DELAY_WEIGHTS = [0.33, 0.66, 0.95]
 
-# ----------------------------------------------------------------------
-# Shared evaluation engine.  One persistent cache + worker pool for the
-# whole bench process: methods and seeds share synthesis results, and —
-# with REPRO_CACHE_DIR set — so do *repeated invocations* of a bench,
-# which then perform zero new synthesis calls.  REPRO_ENGINE_WORKERS
-# (default 1 = serial) sizes the multiprocessing synthesis pool.
-# ----------------------------------------------------------------------
-_ENGINE: Optional[EvaluationEngine] = None
+_SESSION: Optional[Session] = None
 
 
-def evaluation_engine() -> EvaluationEngine:
-    """The process-wide engine every bench routes its runs through."""
-    global _ENGINE
-    if _ENGINE is None:
-        _ENGINE = EvaluationEngine()  # REPRO_CACHE_DIR / REPRO_ENGINE_WORKERS
-    return _ENGINE
+def session() -> Session:
+    """The process-wide session every bench routes its runs through."""
+    global _SESSION
+    if _SESSION is None:
+        _SESSION = Session()  # REPRO_CACHE_DIR / REPRO_ENGINE_WORKERS
+    return _SESSION
 
 
-def vae_config(**overrides) -> CircuitVAEConfig:
-    """The benchmark-scale CircuitVAE configuration."""
-    # Small acquisition batches (8 trajectories x 2 captures) buy more
-    # retraining rounds per budget — the right trade at bench budgets.
+def vae_params(**overrides) -> Dict:
+    """Benchmark-scale CircuitVAE parameters as a JSON-able params dict.
+
+    Small acquisition batches (8 trajectories x 2 captures) buy more
+    retraining rounds per budget — the right trade at bench budgets.
+    Nested ``train``/``search`` overrides replace the whole block, so
+    merge with the base dicts when varying a single knob (see the Fig. 4
+    ablation bench).
+    """
     base = dict(
         initial_samples=INITIAL,
         first_round_epochs=25,
-        train=TrainConfig(epochs=10, batch_size=32),
-        search=SearchConfig(
-            num_parallel=8, num_steps=40, capture_every=20, step_size=0.15
-        ),
+        train=dict(epochs=10, batch_size=32),
+        search=dict(num_parallel=8, num_steps=40, capture_every=20, step_size=0.15),
         **VAE_SIZES,
     )
     base.update(overrides)
-    return CircuitVAEConfig(**base)
+    return base
 
 
-def method_factories() -> Dict[str, Callable[[int], object]]:
+def vae_config(**overrides) -> CircuitVAEConfig:
+    """The benchmark-scale config, for benches driving the optimizer directly."""
+    return build_config("CircuitVAE", vae_params(**overrides))
+
+
+def method_specs() -> Tuple[MethodSpec, ...]:
     """The four methods of Figs. 3/7 and Table 1 (paired per seed)."""
-    return {
-        "CircuitVAE": lambda seed: CircuitVAEOptimizer(vae_config()),
-        "GA": lambda seed: GeneticAlgorithm(GAConfig(population_size=24)),
-        "RL": lambda seed: PrefixRL(RLConfig(episode_length=16)),
-        "BO": lambda seed: LatentBO(
-            BOConfig(vae=vae_config(), batch_per_round=12, candidate_pool=256, gp_max_points=128)
+    return (
+        MethodSpec("CircuitVAE", params=vae_params()),
+        MethodSpec("GA", params=dict(population_size=24)),
+        MethodSpec("RL", params=dict(episode_length=16)),
+        MethodSpec(
+            "BO",
+            params=dict(
+                vae=vae_params(), batch_per_round=12, candidate_pool=256,
+                gp_max_points=128,
+            ),
         ),
-    }
+    )
 
 
 def once(benchmark, fn):

@@ -6,34 +6,35 @@ the same adder task under the same simulation budget with paired seeds;
 the script prints the cost-vs-budget curves and the VAE speedup per
 competitor (the Table 1 statistic).
 
+The whole grid is one declarative :class:`repro.api.ExperimentSpec`
+resolved by method name from the registry — pass ``--save-spec grid.json``
+to export it and re-run the identical experiment with
+``python -m repro run grid.json``.
+
 Run:  python examples/compare_methods.py [--bits 12] [--budget 150] [--seeds 2]
 """
 
 import argparse
 
-import numpy as np
-
-from repro.baselines import BOConfig, GAConfig, GeneticAlgorithm, LatentBO, PrefixRL, RLConfig
-from repro.circuits import adder_task
-from repro.core import CircuitVAEConfig, CircuitVAEOptimizer, SearchConfig, TrainConfig
-from repro.opt import aggregate_curves, median_iqr, run_comparison, vae_speedup
+from repro.api import ExperimentSpec, MethodSpec, Session, TaskSpec, save_spec
+from repro.opt import median_iqr, vae_speedup
 from repro.utils.plotting import ascii_plot
 from repro.utils.tables import format_median_iqr, format_table
 
 
-def factories(budget: int):
-    vae_cfg = CircuitVAEConfig(
+def method_specs(budget: int):
+    vae = dict(
         latent_dim=16, base_channels=6, hidden_dim=64,
         initial_samples=min(48, budget // 3),
-        train=TrainConfig(epochs=8, batch_size=32),
-        search=SearchConfig(num_parallel=12, num_steps=30, capture_every=10),
+        train=dict(epochs=8, batch_size=32),
+        search=dict(num_parallel=12, num_steps=30, capture_every=10),
     )
-    return {
-        "CircuitVAE": lambda s: CircuitVAEOptimizer(vae_cfg),
-        "GA": lambda s: GeneticAlgorithm(GAConfig(population_size=20)),
-        "RL": lambda s: PrefixRL(RLConfig(episode_length=16)),
-        "BO": lambda s: LatentBO(BOConfig(vae=vae_cfg, batch_per_round=12)),
-    }
+    return (
+        MethodSpec("CircuitVAE", params=vae),
+        MethodSpec("GA", params=dict(population_size=20)),
+        MethodSpec("RL", params=dict(episode_length=16)),
+        MethodSpec("BO", params=dict(vae=vae, batch_per_round=12)),
+    )
 
 
 def main() -> None:
@@ -42,27 +43,40 @@ def main() -> None:
     parser.add_argument("--budget", type=int, default=150)
     parser.add_argument("--omega", type=float, default=0.66)
     parser.add_argument("--seeds", type=int, default=2)
+    parser.add_argument("--save-spec", default=None,
+                        help="write the spec as JSON (for python -m repro run)")
     args = parser.parse_args()
 
-    task = adder_task(args.bits, args.omega)
-    print(f"running 4 methods x {args.seeds} seeds on {task.name} "
-          f"(budget {args.budget}); this takes a few minutes...")
-    results = run_comparison(
-        factories(args.budget), task, budget=args.budget, num_seeds=args.seeds
+    spec = ExperimentSpec(
+        name="compare-methods",
+        task=TaskSpec(circuit_type="adder", n=args.bits, delay_weight=args.omega),
+        methods=method_specs(args.budget),
+        budget=args.budget,
+        num_seeds=args.seeds,
+        curve_points=min(8, args.budget),
     )
+    if args.save_spec:
+        save_spec(spec, args.save_spec)
+        print(f"spec written to {args.save_spec}")
 
-    budgets = list(range(args.budget // 8, args.budget + 1, args.budget // 8))
+    task = spec.task.to_task()
+    print(f"running {len(spec.methods)} methods x {args.seeds} seeds on {task.name} "
+          f"(budget {args.budget}); this takes a few minutes...")
+    with Session() as session:
+        result = session.run(spec)
+
+    budgets = result.budgets()
     series = {
-        method: (budgets, aggregate_curves(records, budgets)["median"].tolist())
-        for method, records in results.items()
+        method: (budgets, agg["median"].tolist())
+        for method, agg in result.curves().items()
     }
     print()
     print(ascii_plot(series, title="median best cost vs simulations",
                      xlabel="simulations", ylabel="cost"))
 
     rows = []
-    vae_records = results["CircuitVAE"]
-    for method, records in results.items():
+    vae_records = result.records["CircuitVAE"]
+    for method, records in result.records.items():
         best = median_iqr([r.best_cost() for r in records])
         speedup = (
             "-" if method == "CircuitVAE"

@@ -1,10 +1,12 @@
 #!/usr/bin/env python
 """Quickstart: optimize a 16-bit adder with CircuitVAE in ~1 minute.
 
-Builds the standard benchmark task (Nangate45-modeled library, uniform IO
-timing, delay weight 0.66), runs Algorithm 1 with a small simulation
-budget, and compares the discovered adder against the classical
-human-designed structures.
+Describes the standard benchmark setting (Nangate45-modeled library,
+uniform IO timing, delay weight 0.66) as a declarative
+:class:`repro.api.ExperimentSpec`, runs it through a
+:class:`repro.api.Session`, and compares the discovered adder against the
+classical human-designed structures.  The same spec, saved as JSON, runs
+identically via ``python -m repro run``.
 
 Run:  python examples/quickstart.py [--bits 16] [--budget 200] [--omega 0.66]
 """
@@ -13,9 +15,7 @@ import argparse
 
 import numpy as np
 
-from repro.circuits import adder_task
-from repro.core import CircuitVAEConfig, CircuitVAEOptimizer, SearchConfig, TrainConfig
-from repro.opt import CircuitSimulator
+from repro.api import ExperimentSpec, MethodSpec, Session, TaskSpec
 from repro.prefix import STRUCTURES, check_adder
 from repro.utils.plotting import render_prefix_graph
 from repro.utils.tables import format_table
@@ -27,40 +27,54 @@ def main() -> None:
     parser.add_argument("--budget", type=int, default=200, help="simulation budget")
     parser.add_argument("--omega", type=float, default=0.66, help="delay weight")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--save-spec", default=None,
+                        help="also write the spec as JSON (for python -m repro run)")
     args = parser.parse_args()
 
-    task = adder_task(args.bits, args.omega)
-    simulator = CircuitSimulator(task, budget=args.budget)
-    optimizer = CircuitVAEOptimizer(
-        CircuitVAEConfig(
-            latent_dim=16,
-            base_channels=6,
-            hidden_dim=64,
-            initial_samples=min(64, args.budget // 3),
-            train=TrainConfig(epochs=8, batch_size=32),
-            search=SearchConfig(num_parallel=12, num_steps=30, capture_every=10),
-        )
+    spec = ExperimentSpec(
+        name="quickstart",
+        task=TaskSpec(circuit_type="adder", n=args.bits, delay_weight=args.omega),
+        methods=(
+            MethodSpec("CircuitVAE", params=dict(
+                latent_dim=16, base_channels=6, hidden_dim=64,
+                initial_samples=min(64, args.budget // 3),
+                train=dict(epochs=8, batch_size=32),
+                search=dict(num_parallel=12, num_steps=30, capture_every=10),
+            )),
+        ),
+        budget=args.budget,
+        seeds=(args.seed,),
+        curve_points=min(8, args.budget),
     )
+    if args.save_spec:
+        from repro.api import save_spec
+        save_spec(spec, args.save_spec)
+        print(f"spec written to {args.save_spec}")
 
     print(f"Optimizing a {args.bits}-bit adder at delay weight {args.omega} "
           f"with {args.budget} simulations...")
-    best = optimizer.run(simulator, np.random.default_rng(args.seed))
+    with Session() as session:
+        result = session.run(spec)
+    record = result.records["CircuitVAE"][0]
+    best_cost, best_area, best_delay = record.best_metrics()
 
     # Sanity: the discovered circuit must still be a correct adder.
-    assert check_adder(best.graph, np.random.default_rng(1)), "found circuit is not an adder!"
+    assert check_adder(record.best_graph, np.random.default_rng(1)), \
+        "found circuit is not an adder!"
 
+    task = spec.task.to_task()
     rows = []
     for name, builder in sorted(STRUCTURES.items()):
-        result = task.synthesize(builder(args.bits))
-        rows.append([name, f"{result.area_um2:.1f}", f"{result.delay_ns:.3f}",
-                     f"{task.cost(result):.3f}"])
-    rows.append(["**CircuitVAE**", f"{best.area_um2:.1f}", f"{best.delay_ns:.3f}",
-                 f"{best.cost:.3f}"])
+        synth = task.synthesize(builder(args.bits))
+        rows.append([name, f"{synth.area_um2:.1f}", f"{synth.delay_ns:.3f}",
+                     f"{task.cost(synth):.3f}"])
+    rows.append(["**CircuitVAE**", f"{best_area:.1f}", f"{best_delay:.3f}",
+                 f"{best_cost:.3f}"])
     print()
     print(format_table(["design", "area um2", "delay ns", "cost"], rows))
     print()
-    print(render_prefix_graph(best.graph, label="discovered prefix graph"))
-    print(f"\nsimulations used: {simulator.num_simulations}")
+    print(render_prefix_graph(record.best_graph, label="discovered prefix graph"))
+    print(f"\nsimulations used: {record.num_simulations}")
 
 
 if __name__ == "__main__":

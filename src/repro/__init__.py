@@ -20,6 +20,9 @@ Subpackages
     The CircuitVAE model and Algorithm 1.
 ``repro.baselines``
     GA, PrefixRL-style RL, latent Bayesian optimization, random search.
+``repro.api``
+    Declarative experiment specs, the method registry, sessions and the
+    ``python -m repro`` CLI — the public entrypoint for experiments.
 ``repro.utils``
     Deterministic RNG helpers, ASCII plotting, table formatting.
 

@@ -1,0 +1,8 @@
+"""``python -m repro`` entrypoint (see :mod:`repro.api.cli`)."""
+
+import sys
+
+from .api.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

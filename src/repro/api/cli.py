@@ -1,0 +1,272 @@
+"""``python -m repro`` — the command-line frontend over specs + sessions.
+
+Three subcommands:
+
+``run <spec.json>``
+    Load, validate and execute a declarative experiment spec; print the
+    per-method summary table and optionally persist the run records.
+``methods``
+    List every registered method with its config fields and defaults
+    (the vocabulary a spec's ``params`` may use).
+``bench <name>``
+    Run one of the built-in preset experiments (reduced-scale versions
+    of the paper's grid) without writing a spec file first; ``--list``
+    shows them, ``--dump-spec`` prints a preset as JSON to copy and
+    edit.
+
+``--workers``, ``--cache-dir`` and ``--parallel-seeds`` override the
+spec's advisory :class:`~repro.api.spec.EngineSpec`; ``--out`` writes
+records via :mod:`repro.opt.records_io`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+from typing import Any, Dict, List, Optional
+
+from ..utils.tables import format_median_iqr, format_table
+from . import registry
+from .session import Session
+from .spec import EngineSpec, ExperimentSpec, MethodSpec, TaskSpec, load_spec
+
+__all__ = ["main", "bench_presets"]
+
+
+# ----------------------------------------------------------------------
+# Built-in preset experiments (reduced scale: seconds-to-minutes on CPU).
+# ----------------------------------------------------------------------
+def _tiny_vae_params() -> Dict[str, Any]:
+    return dict(
+        latent_dim=8,
+        base_channels=4,
+        hidden_dim=32,
+        initial_samples=16,
+        first_round_epochs=6,
+        train=dict(epochs=4, batch_size=16),
+        search=dict(num_parallel=6, num_steps=12, capture_every=6),
+    )
+
+
+def bench_presets() -> Dict[str, ExperimentSpec]:
+    """Named ready-to-run experiments for ``python -m repro bench``."""
+    vae = _tiny_vae_params()
+    return {
+        # The 4-bit design space holds only 7 unique legal graphs, so the
+        # budget must stay below that for budget-driven methods to exhaust.
+        "tiny": ExperimentSpec(
+            name="tiny",
+            task=TaskSpec(circuit_type="adder", n=4, delay_weight=0.66),
+            methods=(
+                MethodSpec("GA", params=dict(population_size=8)),
+                MethodSpec("Random"),
+            ),
+            budget=6,
+            num_seeds=2,
+            curve_points=3,
+        ),
+        "fig3-panel": ExperimentSpec(
+            name="fig3-panel",
+            task=TaskSpec(circuit_type="adder", n=8, delay_weight=0.33),
+            methods=(
+                MethodSpec("CircuitVAE", params=vae),
+                MethodSpec("GA", params=dict(population_size=16)),
+                MethodSpec("RL", params=dict(episode_length=12)),
+                MethodSpec(
+                    "BO",
+                    params=dict(
+                        vae=vae, batch_per_round=8, candidate_pool=64, gp_max_points=48
+                    ),
+                ),
+            ),
+            budget=60,
+            num_seeds=2,
+        ),
+        "fig7-gray": ExperimentSpec(
+            name="fig7-gray",
+            task=TaskSpec(circuit_type="gray", n=8, delay_weight=0.6),
+            methods=(
+                MethodSpec("CircuitVAE", params=vae),
+                MethodSpec("GA", params=dict(population_size=16)),
+            ),
+            budget=60,
+            num_seeds=2,
+        ),
+        "lzd": ExperimentSpec(
+            name="lzd",
+            task=TaskSpec(circuit_type="lzd", n=8, delay_weight=0.6),
+            methods=(
+                MethodSpec("GA", params=dict(population_size=16)),
+                MethodSpec("Random"),
+            ),
+            budget=40,
+            num_seeds=2,
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Output helpers
+# ----------------------------------------------------------------------
+def _print_result(result, out: Optional[str]) -> None:
+    from ..opt.results import median_iqr
+
+    spec = result.spec
+    task = spec.task
+    print(
+        f"{spec.name}: {task.circuit_type}{task.n} @ w{task.delay_weight} "
+        f"({task.library}), budget {spec.budget}, seeds {spec.seed_list()}"
+    )
+    rows = []
+    for name, records in result.records.items():
+        best = median_iqr([r.best_cost() for r in records])
+        sims = max(r.num_simulations for r in records)
+        rows.append([name, format_median_iqr(*best, digits=3), str(sims)])
+    print(format_table(["method", "best cost (median, IQR)", "sims used"], rows))
+    if result.telemetry:
+        t = result.telemetry
+        print(
+            f"engine: {t.get('synth_calls', 0)} synthesis calls, "
+            f"{t.get('memory_hits', 0)} memory hits, "
+            f"{t.get('disk_hits', 0)} disk hits"
+        )
+    if out:
+        result.save(out)
+        print(f"records written to {out}")
+
+
+def _default_repr(field: dataclasses.Field) -> str:
+    if field.default is not dataclasses.MISSING:
+        return repr(field.default)
+    if field.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
+        return f"{field.default_factory().__class__.__name__}(...)"
+    return "<required>"
+
+
+def _print_methods(as_json: bool) -> None:
+    if as_json:
+        payload = {}
+        for name in registry.available_methods():
+            entry = registry.get_method(name)
+            payload[name] = {
+                "config": entry.config_cls.__name__,
+                "params": {
+                    f.name: _default_repr(f)
+                    for f in dataclasses.fields(entry.config_cls)
+                },
+            }
+        print(json.dumps(payload, indent=2))
+        return
+    for name in registry.available_methods():
+        entry = registry.get_method(name)
+        print(f"{name}  ({entry.config_cls.__name__})")
+        for f in dataclasses.fields(entry.config_cls):
+            print(f"    {f.name} = {_default_repr(f)}")
+
+
+# ----------------------------------------------------------------------
+# Argument parsing
+# ----------------------------------------------------------------------
+def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--workers", type=int, default=None,
+        help="synthesis worker processes (overrides the spec's engine block)",
+    )
+    parser.add_argument(
+        "--cache-dir", default=None,
+        help="persistent evaluation-cache directory (overrides the spec)",
+    )
+    parser.add_argument(
+        "--parallel-seeds", type=int, default=None,
+        help="seeds run concurrently per method (overrides the spec)",
+    )
+    parser.add_argument(
+        "--out", default=None, help="write run records to this path"
+    )
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Run declarative CircuitVAE-reproduction experiments.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="execute an experiment spec (JSON file)")
+    run_p.add_argument("spec", help="path to an ExperimentSpec JSON file")
+    _add_execution_flags(run_p)
+
+    methods_p = sub.add_parser("methods", help="list registered methods")
+    methods_p.add_argument("--json", action="store_true", help="machine-readable")
+
+    bench_p = sub.add_parser("bench", help="run a built-in preset experiment")
+    bench_p.add_argument("name", nargs="?", help="preset name (see --list)")
+    bench_p.add_argument("--list", action="store_true", help="list presets")
+    bench_p.add_argument(
+        "--dump-spec", action="store_true",
+        help="print the preset's JSON spec instead of running it",
+    )
+    _add_execution_flags(bench_p)
+    return parser
+
+
+def _effective_engine(spec: ExperimentSpec, args: argparse.Namespace) -> EngineSpec:
+    """The spec's engine block with CLI flags applied — building an
+    EngineSpec runs the same validation a spec-file value gets, so a bad
+    ``--workers 0`` fails in the friendly-error zone, not mid-run."""
+    return EngineSpec(
+        cache_dir=args.cache_dir if args.cache_dir is not None else spec.engine.cache_dir,
+        workers=args.workers if args.workers is not None else spec.engine.workers,
+        parallel_seeds=(
+            args.parallel_seeds
+            if args.parallel_seeds is not None
+            else spec.engine.parallel_seeds
+        ),
+    )
+
+
+def _execute(spec: ExperimentSpec, engine: EngineSpec, out: Optional[str]) -> None:
+    with Session.from_spec(engine) as session:
+        result = session.run(spec)
+    _print_result(result, out)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "methods":
+        _print_methods(args.json)
+        return 0
+
+    # Only spec loading/validation gets the friendly one-line treatment;
+    # failures *during* execution are real bugs and keep their traceback.
+    try:
+        if args.command == "run":
+            spec = load_spec(args.spec)
+        else:  # bench
+            presets = bench_presets()
+            if args.list or args.name is None:
+                for name, preset in sorted(presets.items()):
+                    task = preset.task
+                    print(
+                        f"{name}: {task.circuit_type}{task.n} @ w{task.delay_weight}, "
+                        f"{len(preset.methods)} methods, budget {preset.budget}"
+                    )
+                return 0
+            if args.name not in presets:
+                raise ValueError(
+                    f"unknown preset {args.name!r}; "
+                    f"available: {', '.join(sorted(presets))}"
+                )
+            spec = presets[args.name]
+            if args.dump_spec:
+                print(spec.to_json())
+                return 0
+        engine = _effective_engine(spec, args)
+    except (ValueError, OSError, json.JSONDecodeError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    _execute(spec, engine, args.out)
+    return 0

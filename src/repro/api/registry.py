@@ -1,0 +1,232 @@
+"""The method registry: search algorithms resolved by name.
+
+Every optimization method is registered as a ``(config dataclass,
+factory)`` pair under a stable name, so frontends — the CLI, specs in
+JSON, future job queues — can say ``"GA"`` instead of importing
+:class:`~repro.baselines.ga.GeneticAlgorithm` and closing over a lambda.
+CircuitVAE and all four baselines register at import time; plugins add
+themselves with the same decorator:
+
+>>> from repro.api import register_method
+>>> @register_method("my-search", MySearchConfig)
+... def _build(config):
+...     return MySearch(config)
+
+Method parameters travel as plain JSON-able dicts
+(:attr:`repro.api.MethodSpec.params`) and are materialized into the
+registered config dataclass by :func:`build_config`, which understands
+nested config dataclasses (``{"train": {"epochs": 5}}`` builds a
+:class:`~repro.core.training.TrainConfig`) and resolves named classical
+structures for :class:`~repro.prefix.graph.PrefixGraph`-typed fields
+(``{"fixed_init_graph": "sklansky"}`` becomes ``sklansky(n)`` for the
+task bitwidth) — that keeps every spec serializable while still covering
+the paper's ablations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+import warnings
+from typing import Any, Callable, Dict, List, Mapping, Optional, Union
+
+from ..baselines import (
+    BOConfig,
+    GAConfig,
+    GeneticAlgorithm,
+    LatentBO,
+    PrefixRL,
+    RandomSearch,
+    RandomSearchConfig,
+    RLConfig,
+)
+from ..core import CircuitVAEConfig, CircuitVAEOptimizer
+from ..opt.optimizer import SearchAlgorithm
+from ..prefix.graph import PrefixGraph
+from ..prefix.structures import STRUCTURES, make_structure
+
+__all__ = [
+    "MethodEntry",
+    "register_method",
+    "available_methods",
+    "get_method",
+    "validate_params",
+    "build_config",
+    "build_algorithm",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class MethodEntry:
+    """One registered method: its name, config type and factory."""
+
+    name: str
+    config_cls: type
+    factory: Callable[[Any], SearchAlgorithm]
+
+
+_REGISTRY: Dict[str, MethodEntry] = {}
+
+
+def register_method(name: str, config_cls: type):
+    """Class-/function-decorator registering ``factory(config)`` under ``name``.
+
+    ``config_cls`` must be a dataclass; its fields define the parameters a
+    :class:`repro.api.MethodSpec` may set.  Registering an already-taken
+    name raises ``ValueError`` (replacing a method silently would make
+    specs ambiguous).
+    """
+    if not dataclasses.is_dataclass(config_cls):
+        raise TypeError(f"config_cls for {name!r} must be a dataclass")
+
+    def decorator(factory: Callable[[Any], SearchAlgorithm]):
+        if name in _REGISTRY:
+            raise ValueError(f"method {name!r} is already registered")
+        _REGISTRY[name] = MethodEntry(name=name, config_cls=config_cls, factory=factory)
+        return factory
+
+    return decorator
+
+
+def available_methods() -> List[str]:
+    """Sorted names of every registered method."""
+    return sorted(_REGISTRY)
+
+
+def get_method(name: str) -> MethodEntry:
+    """Look up one registered method; unknown names list the alternatives."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown method {name!r}; available: {', '.join(available_methods())}"
+        ) from None
+
+
+# ----------------------------------------------------------------------
+# Params <-> config dataclasses
+# ----------------------------------------------------------------------
+def _field_types(config_cls: type) -> Dict[str, Any]:
+    """Resolved field annotations (configs use ``from __future__ import
+    annotations``, so raw ``field.type`` is a string)."""
+    try:
+        return typing.get_type_hints(config_cls)
+    except (NameError, TypeError) as error:
+        # Unresolvable forward refs (e.g. TYPE_CHECKING-only names in a
+        # plugin config) degrade nested validation/materialization to
+        # pass-through — say so instead of failing silently.
+        warnings.warn(
+            f"cannot resolve field annotations of {config_cls.__name__} "
+            f"({error}); nested parameter validation is degraded",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return {}
+
+
+def _concrete_type(tp: Any) -> Any:
+    """Strip ``Optional[...]`` so dataclass/graph fields are recognizable."""
+    if typing.get_origin(tp) is Union:
+        args = [a for a in typing.get_args(tp) if a is not type(None)]
+        if len(args) == 1:
+            return args[0]
+    return tp
+
+
+def validate_params(
+    config_cls: type, params: Mapping[str, Any], context: str = ""
+) -> None:
+    """Reject parameter names that are not fields of ``config_cls``.
+
+    Recurses into nested config dataclasses, so a typo anywhere in a spec
+    fails at validation time with its dotted path, not at run time.
+    """
+    names = {f.name for f in dataclasses.fields(config_cls)}
+    types = _field_types(config_cls)
+    for key, value in params.items():
+        where = f"{context}.{key}" if context else key
+        if key not in names:
+            raise ValueError(
+                f"unknown parameter {where!r} for {config_cls.__name__}; "
+                f"known fields: {sorted(names)}"
+            )
+        nested = _concrete_type(types.get(key))
+        if dataclasses.is_dataclass(nested) and isinstance(value, Mapping):
+            validate_params(nested, value, context=where)
+        elif nested is PrefixGraph and isinstance(value, str):
+            # Structure names materialize later (they need the task
+            # bitwidth), but a typo must fail here, at validation time.
+            if value not in STRUCTURES:
+                raise ValueError(
+                    f"{where}={value!r} is not a known classical structure; "
+                    f"choose from {sorted(STRUCTURES)}"
+                )
+
+
+def _materialize(
+    config_cls: type, params: Mapping[str, Any], n: Optional[int], context: str
+) -> Any:
+    types = _field_types(config_cls)
+    kwargs: Dict[str, Any] = {}
+    for key, value in params.items():
+        where = f"{context}.{key}"
+        declared = _concrete_type(types.get(key))
+        if dataclasses.is_dataclass(declared) and isinstance(value, Mapping):
+            value = _materialize(declared, value, n, where)
+        elif declared is PrefixGraph and isinstance(value, str):
+            if n is None:
+                raise ValueError(
+                    f"{where}={value!r} names a classical structure, which "
+                    "needs the task bitwidth; pass n="
+                )
+            value = make_structure(value, n)
+        kwargs[key] = value
+    return config_cls(**kwargs)
+
+
+def build_config(method: str, params: Mapping[str, Any], n: Optional[int] = None):
+    """Materialize a method's config dataclass from JSON-able ``params``.
+
+    Unlisted fields keep their dataclass defaults.  ``n`` (the task
+    bitwidth) is only needed when a graph-typed field names a classical
+    structure.
+    """
+    entry = get_method(method)
+    validate_params(entry.config_cls, params, context=method)
+    return _materialize(entry.config_cls, params, n, context=method)
+
+
+def build_algorithm(
+    method: str, params: Optional[Mapping[str, Any]] = None, n: Optional[int] = None
+) -> SearchAlgorithm:
+    """A fresh algorithm instance for one run: config + factory in one step."""
+    entry = get_method(method)
+    return entry.factory(build_config(method, params or {}, n=n))
+
+
+# ----------------------------------------------------------------------
+# Built-in methods: the paper's contribution and its four baselines.
+# ----------------------------------------------------------------------
+@register_method("CircuitVAE", CircuitVAEConfig)
+def _make_circuitvae(config: CircuitVAEConfig) -> SearchAlgorithm:
+    return CircuitVAEOptimizer(config)
+
+
+@register_method("GA", GAConfig)
+def _make_ga(config: GAConfig) -> SearchAlgorithm:
+    return GeneticAlgorithm(config)
+
+
+@register_method("RL", RLConfig)
+def _make_rl(config: RLConfig) -> SearchAlgorithm:
+    return PrefixRL(config)
+
+
+@register_method("BO", BOConfig)
+def _make_bo(config: BOConfig) -> SearchAlgorithm:
+    return LatentBO(config)
+
+
+@register_method("Random", RandomSearchConfig)
+def _make_random(config: RandomSearchConfig) -> SearchAlgorithm:
+    return RandomSearch(config)

@@ -1,0 +1,214 @@
+"""Sessions: engine ownership + spec execution in one object.
+
+A :class:`Session` is the runtime counterpart of a declarative
+:class:`~repro.api.spec.ExperimentSpec`: it owns one
+:class:`~repro.engine.EvaluationEngine` (persistent cache, synthesis
+worker pool, aggregate telemetry) for its whole lifetime, so callers
+never thread raw ``engine=`` handles through their code.  Any number of
+experiments can run on one session and share cache entries; closing the
+session (or using it as a context manager) shuts the worker pool down.
+
+:meth:`Session.run` resolves each method spec through the registry,
+executes the (method x seed) grid with per-seed budget accounting that is
+bit-identical to serial execution (see :mod:`repro.engine`), and returns
+an :class:`ExperimentResult` bundling the raw records, the aggregated
+cost-vs-budget curves and an engine telemetry snapshot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..engine.service import EvaluationEngine
+from ..opt.records_io import save_records
+from ..opt.results import RunRecord, aggregate_curves, median_iqr
+from ..opt.runner import _run_seed_grid
+from .registry import build_config, get_method
+from .spec import EngineSpec, ExperimentSpec
+
+__all__ = ["Session", "ExperimentResult"]
+
+
+def _sum_telemetry(snapshots: List[Dict]) -> Dict:
+    """Fold per-run telemetry snapshots into one experiment total.
+
+    Summing the runs' own snapshots (not diffing the engine aggregate)
+    attributes exactly this experiment's work — including the counters
+    only per-run telemetry records (queries, run_hits, budget_refusals)
+    — and stays correct on a reused session.  The derived ratios
+    (hit_rate, synth_throughput) are recomputed from the totals.
+    """
+    total: Dict = {}
+    for snapshot in snapshots:
+        for key, value in snapshot.items():
+            if isinstance(value, dict):
+                bucket = total.setdefault(key, {})
+                for name, amount in value.items():
+                    bucket[name] = bucket.get(name, 0) + amount
+            else:
+                total[key] = total.get(key, 0) + value
+    charged = total.get("cache_hits", 0) + total.get("synth_calls", 0)
+    total["hit_rate"] = total.get("cache_hits", 0) / charged if charged else 0.0
+    seconds = total.get("stage_seconds", {}).get("synthesis", 0.0)
+    total["synth_throughput"] = (
+        total.get("synth_calls", 0) / seconds if seconds > 0 else 0.0
+    )
+    return total
+
+
+@dataclass
+class ExperimentResult:
+    """Everything one :meth:`Session.run` produced."""
+
+    spec: ExperimentSpec
+    #: {method display name: [RunRecord per seed]}, seed-paired across
+    #: methods (the Table-1 speedup pairing).
+    records: Dict[str, List[RunRecord]]
+    #: engine telemetry attributable to *this* experiment (the sum of
+    #: every run's per-record snapshot, so reused sessions don't
+    #: misattribute earlier runs' work).
+    telemetry: Optional[Dict] = None
+
+    def budgets(self) -> List[int]:
+        """The curve ladder of the spec (``budget_ladder``)."""
+        return self.spec.budget_ladder()
+
+    def curves(self, budgets: Optional[List[int]] = None) -> Dict[str, Dict]:
+        """Median/quartile best-cost curves per method (Figs. 3/7)."""
+        budgets = budgets if budgets is not None else self.budgets()
+        return {
+            name: aggregate_curves(records, budgets)
+            for name, records in self.records.items()
+        }
+
+    def best_costs(self) -> Dict[str, float]:
+        """Median best cost per method at the full budget."""
+        return {
+            name: median_iqr([r.best_cost() for r in records])[0]
+            for name, records in self.records.items()
+        }
+
+    def all_records(self) -> List[RunRecord]:
+        """Every record, flattened in method order (for persistence)."""
+        return [r for records in self.records.values() for r in records]
+
+    def save(self, path: str) -> None:
+        """Persist all records via :mod:`repro.opt.records_io`."""
+        save_records(path, self.all_records())
+
+
+class Session:
+    """Owns one evaluation engine and runs experiment specs on it.
+
+    Parameters
+    ----------
+    cache_dir / workers:
+        Forwarded to :class:`~repro.engine.EvaluationEngine` (``None``
+        defers to ``$REPRO_CACHE_DIR`` / ``$REPRO_ENGINE_WORKERS``).
+    parallel_seeds:
+        Seeds run concurrently on threads per method grid.
+    engine:
+        Adopt an existing engine instead of building one; the session
+        then does **not** close it.
+    """
+
+    def __init__(
+        self,
+        cache_dir: Optional[str] = None,
+        workers: Optional[int] = None,
+        parallel_seeds: int = 1,
+        engine: Optional[EvaluationEngine] = None,
+    ) -> None:
+        if parallel_seeds < 1:
+            raise ValueError("parallel_seeds must be >= 1")
+        self._owns_engine = engine is None
+        self.engine = (
+            engine
+            if engine is not None
+            else EvaluationEngine(cache_dir=cache_dir, workers=workers)
+        )
+        self.parallel_seeds = parallel_seeds
+
+    @classmethod
+    def from_spec(
+        cls,
+        engine_spec: Optional[EngineSpec] = None,
+        cache_dir: Optional[str] = None,
+        workers: Optional[int] = None,
+        parallel_seeds: Optional[int] = None,
+    ) -> "Session":
+        """Build a session from an :class:`EngineSpec`, with overrides.
+
+        Explicit keyword arguments (e.g. the CLI's ``--workers``) win
+        over the spec's advisory values.
+        """
+        engine_spec = engine_spec if engine_spec is not None else EngineSpec()
+        return cls(
+            cache_dir=cache_dir if cache_dir is not None else engine_spec.cache_dir,
+            workers=workers if workers is not None else engine_spec.workers,
+            parallel_seeds=(
+                parallel_seeds
+                if parallel_seeds is not None
+                else engine_spec.parallel_seeds
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def run(self, spec: ExperimentSpec) -> ExperimentResult:
+        """Execute one experiment spec on this session's engine.
+
+        Records are bit-identical to a direct serial run of the same
+        (config, task, budget, seed) grid — the engine changes wall-clock
+        only, never paper-semantics accounting.
+        """
+        task = spec.task.to_task()
+        seeds = spec.seed_list()
+        # Resolve every method before running any: a bad config in the
+        # last method must not waste the earlier methods' synthesis.
+        resolved = [
+            (m, get_method(m.method), build_config(m.method, m.params, n=task.n))
+            for m in spec.methods
+        ]
+        records: Dict[str, List[RunRecord]] = {}
+        for method_spec, entry, config in resolved:
+            records[method_spec.display_name] = _run_seed_grid(
+                lambda seed, _factory=entry.factory, _config=config: _factory(_config),
+                task,
+                spec.budget,
+                seeds,
+                method_name=method_spec.display_name,
+                engine=self.engine,
+                parallel_seeds=self.parallel_seeds,
+            )
+        return ExperimentResult(
+            spec=spec,
+            records=records,
+            telemetry=_sum_telemetry([
+                r.telemetry
+                for rs in records.values()
+                for r in rs
+                if r.telemetry is not None
+            ]),
+        )
+
+    def telemetry_snapshot(self) -> Dict:
+        """The engine's aggregate counters across every run so far."""
+        return self.engine.telemetry.as_dict()
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut down the worker pool (only if this session built it)."""
+        if self._owns_engine:
+            self.engine.close()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"Session(engine={self.engine!r}, parallel_seeds={self.parallel_seeds})"
+        )

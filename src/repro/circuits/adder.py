@@ -14,7 +14,11 @@ from ..synth.library import nangate45, scaled_library
 from ..synth.timing import IOTiming
 from .task import CircuitTask
 
-__all__ = ["adder_task", "datapath_io_timing", "realistic_adder_task"]
+__all__ = ["adder_task", "datapath_io_timing", "realistic_adder_task", "IO_PROFILES"]
+
+#: The captured-profile shapes :func:`datapath_io_timing` models — the
+#: authoritative list validators (e.g. :class:`repro.api.TaskSpec`) reuse.
+IO_PROFILES = ("late-msb", "late-lsb", "bowl")
 
 
 def adder_task(n: int, delay_weight: float, library=None) -> CircuitTask:
@@ -54,7 +58,7 @@ def datapath_io_timing(n: int, profile: str = "late-msb", skew_ns: float = 0.15)
         arrival = (1.0 - np.abs(2 * bits - 1.0)) * skew_ns
         margin = np.abs(2 * bits - 1.0) * skew_ns * 0.25
     else:
-        raise ValueError(f"unknown profile {profile!r}")
+        raise ValueError(f"unknown profile {profile!r}; choose from {IO_PROFILES}")
     input_arrival = {}
     output_margin = {}
     for i in range(n):
@@ -66,14 +70,22 @@ def datapath_io_timing(n: int, profile: str = "late-msb", skew_ns: float = 0.15)
 
 
 def realistic_adder_task(
-    n: int = 31, delay_weight: float = 0.6, profile: str = "late-msb"
+    n: int = 31,
+    delay_weight: float = 0.6,
+    profile: str = "late-msb",
+    library=None,
+    skew_ns: float = 0.15,
 ) -> CircuitTask:
-    """The Sec. 5.4 setting: scaled-8nm library + datapath IO timings."""
+    """The Sec. 5.4 setting: scaled-8nm library + datapath IO timings.
+
+    ``library`` and ``skew_ns`` vary the environment (e.g. datapath
+    timings on Nangate45); the defaults are the paper's setting.
+    """
     return CircuitTask(
         name=f"realistic-adder{n}@w{delay_weight}",
         n=n,
         delay_weight=delay_weight,
         circuit_type="adder",
-        library=scaled_library("8nm"),
-        io_timing=datapath_io_timing(n, profile=profile),
+        library=library if library is not None else scaled_library("8nm"),
+        io_timing=datapath_io_timing(n, profile=profile, skew_ns=skew_ns),
     )

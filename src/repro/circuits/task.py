@@ -1,9 +1,9 @@
 """Circuit design tasks: what the optimizer is asked to build.
 
 A :class:`CircuitTask` bundles everything that defines one optimization
-problem from the paper's experiment grid: circuit type (adder or
-gray-to-binary), bitwidth, cell library, IO timing environment and the
-delay weight omega.  The simulator facade in :mod:`repro.opt.simulator`
+problem from the paper's experiment grid: circuit type (adder,
+gray-to-binary converter or leading-zero detector), bitwidth, cell
+library, IO timing environment and the delay weight omega.  The simulator facade in :mod:`repro.opt.simulator`
 turns a task into a black-box cost oracle.
 """
 
@@ -21,13 +21,22 @@ from ..synth.timing import IOTiming
 __all__ = ["CircuitTask"]
 
 
+#: Every prefix computation the synthesis flow can map.  'adder' is the
+#: carry-prefix network of Sec. 5.2, 'gray' the XOR-prefix gray-to-binary
+#: converter of Sec. 5.5, 'lzd' the OR-prefix leading-zero detector the
+#: paper's conclusion proposes.
+_CIRCUIT_TYPES = ("adder", "gray", "lzd")
+
+
 @dataclass(frozen=True)
 class CircuitTask:
     """One black-box circuit optimization problem.
 
     Parameters mirror the paper's experiment axes (Sec. 3, 5.2): ``n`` is
     the bitwidth, ``delay_weight`` is omega, ``circuit_type`` selects the
-    cell mapping ('adder' or 'gray').
+    cell mapping — 'adder' (carry prefix, Sec. 5.2), 'gray' (XOR prefix,
+    Sec. 5.5) or 'lzd' (OR prefix, the paper's suggested extension); see
+    :meth:`circuit_types`.
     """
 
     name: str
@@ -38,11 +47,20 @@ class CircuitTask:
     io_timing: IOTiming = field(default_factory=IOTiming)
     options: SynthesisOptions = field(default_factory=SynthesisOptions)
 
+    @staticmethod
+    def circuit_types() -> tuple:
+        """The supported ``circuit_type`` values (shared with validators,
+        e.g. :class:`repro.api.TaskSpec`)."""
+        return _CIRCUIT_TYPES
+
     def __post_init__(self):
         if self.n < 2:
             raise ValueError("tasks need at least 2 bits")
-        if self.circuit_type not in ("adder", "gray", "lzd"):
-            raise ValueError(f"unknown circuit type {self.circuit_type!r}")
+        if self.circuit_type not in self.circuit_types():
+            raise ValueError(
+                f"unknown circuit type {self.circuit_type!r}; "
+                f"choose from {self.circuit_types()}"
+            )
         if not 0.0 <= self.delay_weight <= 1.0:
             raise ValueError("delay_weight must be in [0, 1]")
 

@@ -15,6 +15,7 @@ from typing import Dict, List, Sequence
 
 import numpy as np
 
+from ..prefix.io import graph_from_dict, graph_to_dict
 from .results import RunRecord
 
 __all__ = ["save_records", "load_records"]
@@ -33,6 +34,8 @@ def _record_to_dict(record: RunRecord) -> Dict:
     }
     if record.telemetry is not None:
         payload["telemetry"] = record.telemetry
+    if record.best_graph is not None:
+        payload["best_graph"] = graph_to_dict(record.best_graph)
     return payload
 
 
@@ -50,6 +53,11 @@ def _record_from_dict(payload: Dict) -> RunRecord:
         areas=areas,
         delays=delays,
         telemetry=payload.get("telemetry"),
+        best_graph=(
+            graph_from_dict(payload["best_graph"])
+            if payload.get("best_graph") is not None
+            else None
+        ),
     )
 
 

@@ -20,6 +20,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..prefix.graph import PrefixGraph
 from .simulator import CircuitSimulator, Evaluation
 
 __all__ = [
@@ -45,11 +46,16 @@ class RunRecord:
     #: engine telemetry snapshot (cache hit-rate, synthesis throughput,
     #: per-stage seconds) when the run used an engine-backed simulator.
     telemetry: Optional[Dict] = None
+    #: the lowest-cost design the run found (first occurrence on ties,
+    #: matching :meth:`best_index`); lets record consumers render or
+    #: re-synthesize the winner without keeping the full history.
+    best_graph: Optional[PrefixGraph] = None
 
     @classmethod
     def from_simulator(cls, method: str, seed: int, simulator: CircuitSimulator) -> "RunRecord":
         history = simulator.history
         telemetry = simulator.telemetry
+        best = min(history, key=lambda e: e.cost) if history else None
         return cls(
             method=method,
             task_name=simulator.task.name,
@@ -58,6 +64,7 @@ class RunRecord:
             areas=np.array([e.area_um2 for e in history]),
             delays=np.array([e.delay_ns for e in history]),
             telemetry=telemetry.as_dict() if telemetry is not None else None,
+            best_graph=best.graph if best is not None else None,
         )
 
     @property

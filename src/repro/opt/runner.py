@@ -11,12 +11,20 @@ engine-backed simulator sharing one persistent cache and worker pool, and
 synthesis work happens in the engine's worker processes; per-seed budget
 accounting stays independent, so records are bit-identical to serial
 execution in any case).
+
+.. deprecated::
+    :func:`run_method` and :func:`run_comparison` are thin shims kept for
+    backward compatibility.  New code should describe the grid as a
+    :class:`repro.api.ExperimentSpec` and run it through
+    :meth:`repro.api.Session.run`, which owns the engine lifecycle and
+    resolves methods by name from the registry.
 """
 
 from __future__ import annotations
 
+import warnings
 from concurrent.futures import ThreadPoolExecutor
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -26,34 +34,47 @@ from .optimizer import SearchAlgorithm
 from .results import RunRecord
 from .simulator import BudgetExhausted, CircuitSimulator
 
+if TYPE_CHECKING:  # runtime import would cycle: repro.engine imports repro.opt
+    from ..engine.service import EvaluationEngine
+
 __all__ = ["run_method", "run_comparison"]
 
 AlgorithmFactory = Callable[[int], SearchAlgorithm]
 
 
-def _make_simulator(task: CircuitTask, budget: int, engine) -> CircuitSimulator:
+def _make_simulator(
+    task: CircuitTask, budget: int, engine: Optional["EvaluationEngine"]
+) -> CircuitSimulator:
+    """One fresh oracle for one run.
+
+    ``engine`` is a :class:`repro.engine.EvaluationEngine` (shared
+    persistent cache + synthesis worker pool) or ``None`` for a plain
+    serial :class:`CircuitSimulator`.
+    """
     if engine is None:
         return CircuitSimulator(task, budget=budget)
     return engine.simulator(task, budget=budget)
 
 
-def run_method(
+def _run_seed_grid(
     factory: AlgorithmFactory,
     task: CircuitTask,
     budget: int,
     seeds: Sequence[int],
     method_name: Optional[str] = None,
-    engine=None,
+    engine: Optional["EvaluationEngine"] = None,
     parallel_seeds: int = 1,
 ) -> List[RunRecord]:
-    """Run one algorithm across seeds; one fresh simulator per run.
+    """The engine room behind :meth:`repro.api.Session.run` (and the
+    deprecated shims below): one algorithm across seeds, one fresh
+    simulator per run.
 
     ``factory(seed)`` builds the algorithm instance (so per-seed
     configuration like initial-dataset sizes can vary, as in the paper's
-    grouped-budget curves).  Pass an ``engine``
-    (:class:`repro.engine.EvaluationEngine`) to share a persistent cache
-    and synthesis worker pool across seeds; ``parallel_seeds`` runs that
-    many seeds concurrently.
+    grouped-budget curves).  ``engine`` is a shared
+    :class:`repro.engine.EvaluationEngine` or ``None`` (plain serial
+    simulators); ``parallel_seeds`` runs that many seeds concurrently on
+    threads when an engine carries the synthesis work.
     """
 
     def _run_one(seed: int) -> RunRecord:
@@ -75,26 +96,76 @@ def run_method(
     return [_run_one(seed) for seed in seeds]
 
 
+def run_method(
+    factory: AlgorithmFactory,
+    task: CircuitTask,
+    budget: int,
+    seeds: Sequence[int],
+    method_name: Optional[str] = None,
+    engine: Optional["EvaluationEngine"] = None,
+    parallel_seeds: int = 1,
+) -> List[RunRecord]:
+    """Run one algorithm across seeds; one fresh simulator per run.
+
+    ``factory(seed)`` builds the algorithm instance.  Pass an ``engine``
+    (:class:`repro.engine.EvaluationEngine`) to share a persistent cache
+    and synthesis worker pool across seeds; ``parallel_seeds`` runs that
+    many seeds concurrently.
+
+    .. deprecated::
+        Prefer :meth:`repro.api.Session.run` with an
+        :class:`repro.api.ExperimentSpec` — it resolves methods by
+        registry name, owns the engine, and returns aggregated results.
+    """
+    warnings.warn(
+        "run_method is deprecated; describe the experiment as a "
+        "repro.api.ExperimentSpec and run it with repro.api.Session.run",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _run_seed_grid(
+        factory,
+        task,
+        budget,
+        seeds,
+        method_name=method_name,
+        engine=engine,
+        parallel_seeds=parallel_seeds,
+    )
+
+
 def run_comparison(
     factories: Dict[str, AlgorithmFactory],
     task: CircuitTask,
     budget: int,
     num_seeds: int = 3,
     base_seed: int = 0,
-    engine=None,
+    engine: Optional["EvaluationEngine"] = None,
     parallel_seeds: int = 1,
 ) -> Dict[str, List[RunRecord]]:
     """Run several methods on one task with paired seeds.
 
     Returns {method: [RunRecord per seed]} with all methods sharing the
     same seed list, which keeps the Table-1 speedup pairing meaningful.
-    ``engine``/``parallel_seeds`` forward to :func:`run_method`; with an
-    engine, methods additionally share cache entries (e.g. the classical
-    seed structures every method evaluates are synthesized exactly once).
+    ``engine`` (a :class:`repro.engine.EvaluationEngine` or ``None``) and
+    ``parallel_seeds`` forward to the per-method grid; with an engine,
+    methods additionally share cache entries (e.g. the classical seed
+    structures every method evaluates are synthesized exactly once).
+
+    .. deprecated::
+        Prefer :meth:`repro.api.Session.run` — an
+        :class:`repro.api.ExperimentSpec` with several method specs is
+        the declarative form of this call.
     """
+    warnings.warn(
+        "run_comparison is deprecated; describe the experiment as a "
+        "repro.api.ExperimentSpec and run it with repro.api.Session.run",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     seeds = seed_sequence(base_seed, num_seeds)
     return {
-        name: run_method(
+        name: _run_seed_grid(
             factory,
             task,
             budget,

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["Cell", "CellLibrary", "nangate45", "scaled_library", "LIBRARIES"]
+__all__ = ["Cell", "CellLibrary", "nangate45", "scaled_library", "LIBRARIES", "LIBRARY_NAMES"]
 
 #: Functions the mapper may instantiate, with their input pin counts.
 FUNCTIONS: Dict[str, int] = {
@@ -211,6 +211,12 @@ def scaled_library(node: str = "8nm") -> CellLibrary:
     )
 
 
+#: Names of every built-in library — the authoritative list validators
+#: (e.g. :class:`repro.api.TaskSpec`) check against without paying to
+#: construct the libraries themselves.
+LIBRARY_NAMES = ("nangate45", "8nm")
+
+
 def LIBRARIES() -> Dict[str, CellLibrary]:
-    """Factory map of all built-in libraries."""
+    """Factory map of all built-in libraries (keys = ``LIBRARY_NAMES``)."""
     return {"nangate45": nangate45(), "8nm": scaled_library("8nm")}

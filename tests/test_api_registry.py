@@ -1,0 +1,91 @@
+"""Tests for the method registry (repro.api.registry)."""
+
+from dataclasses import dataclass
+
+import pytest
+
+from repro.api import (
+    available_methods,
+    build_algorithm,
+    build_config,
+    get_method,
+    register_method,
+)
+from repro.api import registry as registry_module
+from repro.baselines import GAConfig, GeneticAlgorithm, LatentBO
+from repro.core import CircuitVAEOptimizer
+from repro.prefix import sklansky
+
+
+class TestRegistration:
+    def test_builtins_registered_at_import(self):
+        assert {"CircuitVAE", "GA", "RL", "BO", "Random"} <= set(available_methods())
+
+    def test_duplicate_name_rejected(self):
+        with pytest.raises(ValueError, match="already registered"):
+            @register_method("GA", GAConfig)
+            def _clone(config):
+                return GeneticAlgorithm(config)
+
+    def test_plugin_registration_and_lookup(self):
+        @dataclass(frozen=True)
+        class _TempConfig:
+            knob: int = 1
+
+        try:
+            @register_method("temp-test-method", _TempConfig)
+            def _build(config):
+                return ("built", config)
+
+            entry = get_method("temp-test-method")
+            assert entry.config_cls is _TempConfig
+            assert build_algorithm("temp-test-method", {"knob": 3}) == (
+                "built", _TempConfig(knob=3),
+            )
+        finally:
+            registry_module._REGISTRY.pop("temp-test-method", None)
+
+    def test_config_cls_must_be_dataclass(self):
+        with pytest.raises(TypeError):
+            register_method("bad", dict)
+
+    def test_unknown_method_lists_available(self):
+        with pytest.raises(ValueError, match="GA"):
+            get_method("definitely-not-registered")
+
+
+class TestConfigBuilding:
+    def test_defaults_when_params_empty(self):
+        config = build_config("GA", {})
+        assert config == GAConfig()
+
+    def test_flat_and_nested_overrides(self):
+        config = build_config(
+            "CircuitVAE", {"latent_dim": 8, "train": {"epochs": 3}}
+        )
+        assert config.latent_dim == 8
+        assert config.train.epochs == 3
+        # unlisted nested fields keep their defaults
+        assert config.train.beta == pytest.approx(0.01)
+
+    def test_doubly_nested_config(self):
+        config = build_config("BO", {"vae": {"latent_dim": 8, "search": {"num_steps": 5}}})
+        assert config.vae.latent_dim == 8
+        assert config.vae.search.num_steps == 5
+
+    def test_unknown_param_rejected_with_dotted_path(self):
+        with pytest.raises(ValueError, match="CircuitVAE.train.epochz"):
+            build_config("CircuitVAE", {"train": {"epochz": 1}})
+
+    def test_structure_name_resolves_to_graph(self):
+        config = build_config("CircuitVAE", {"fixed_init_graph": "sklansky"}, n=8)
+        assert config.fixed_init_graph == sklansky(8)
+
+    def test_structure_name_needs_bitwidth(self):
+        with pytest.raises(ValueError, match="bitwidth"):
+            build_config("CircuitVAE", {"fixed_init_graph": "sklansky"})
+
+    def test_build_algorithm_types(self):
+        assert isinstance(build_algorithm("GA", {"population_size": 6}), GeneticAlgorithm)
+        assert isinstance(build_algorithm("CircuitVAE"), CircuitVAEOptimizer)
+        assert isinstance(build_algorithm("BO"), LatentBO)
