@@ -5,9 +5,9 @@ cold and warm batches of unique legalized designs:
 
 * **cold serial** — plain ``CircuitSimulator``, one synthesis at a time;
 * **cold pooled** — ``EngineSimulator`` with a 4-worker synthesis pool
-  (the acceptance target is >= 2x wall-clock on multi-core hosts; on a
-  single-core host the pool cannot beat serial and the speedup line is
-  reported for the record rather than asserted);
+  plus the vectorized population fast path (the acceptance target is
+  >= 2x wall-clock whenever the host has >= 2 cores; single-core hosts
+  report the speedup line for the record rather than asserting it);
 * **warm disk** — a *fresh* engine pointed at the first engine's cache
   directory: every design must be served from disk with zero new
   synthesis calls.
@@ -95,8 +95,10 @@ def test_engine_throughput(benchmark):
     )
     # The warm cache always wins big; that is hardware-independent.
     assert stats["warm_speedup"] > 2.0
-    # Pool speedup needs real, uncontended cores — shared CI runners
-    # advertise 4 vCPUs but throttle, so the hard gate is opt-in.
-    if os.environ.get("REPRO_BENCH_ASSERT_SPEEDUP") == "1":
-        assert stats["cpus"] >= WORKERS, "need >= WORKERS cores to assert"
+    # The engine fast path (vectorized batches + worker pool) must beat
+    # the serial loop on any multi-core host, so the gate auto-enables
+    # when the machine has >= 2 CPUs.  REPRO_BENCH_ASSERT_SPEEDUP=1
+    # forces it (single-core included, for the record), =0 disables it.
+    gate = os.environ.get("REPRO_BENCH_ASSERT_SPEEDUP")
+    if gate == "1" or (gate != "0" and stats["cpus"] >= 2):
         assert stats["pooled_speedup"] >= 2.0, stats

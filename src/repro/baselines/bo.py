@@ -23,7 +23,7 @@ import numpy as np
 from .. import nn
 from ..core.algorithm import CircuitVAEConfig, build_initial_dataset
 from ..core.dataset import CircuitDataset
-from ..core.search import initialize_latents
+from ..core.search import decode_and_query, initialize_latents
 from ..core.training import train_model
 from ..core.vae import CircuitVAEModel, VAEConfig
 from ..engine.telemetry import stage
@@ -126,8 +126,12 @@ class LatentBO(SearchAlgorithm):
                 mean, std = gp.predict(candidates)
                 ei = expected_improvement(mean, std, best=float(costs.min()))
                 top = np.argsort(-ei)[: config.batch_per_round]
-                designs = self.model.sample_designs(candidates[top], rng)
-            new_points = self.dataset.add_evaluations(simulator.query_many(designs))
+            # Decode + one batched population evaluation (vectorized on
+            # an engine-backed simulator).
+            _designs, evaluations = decode_and_query(
+                self.model, candidates[top], simulator, rng, telemetry
+            )
+            new_points = self.dataset.add_evaluations(evaluations)
             if new_points == 0 and not simulator.exhausted():
                 # All acquisitions decoded to known circuits: fall back to
                 # exploration so the loop never stalls.

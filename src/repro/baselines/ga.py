@@ -76,8 +76,9 @@ class GeneticAlgorithm(SearchAlgorithm):
         config = self.config
         telemetry = simulator.telemetry
         population = self._initial_population(simulator.task.n, rng)
-        # Whole generations go through query_many, so an engine-backed
-        # simulator deduplicates and synthesizes each one in parallel.
+        # Whole generations go through one query_many round-trip, so an
+        # engine-backed simulator deduplicates and synthesizes each one
+        # in a single vectorized pass.
         evaluations = simulator.query_many(population)
         if not evaluations:
             return simulator.best()

@@ -43,9 +43,17 @@ class RandomSearch(SearchAlgorithm):
         telemetry = simulator.telemetry
         n = simulator.task.n
         dataset = CircuitDataset(k=config.k)
+        # Seed with the classical structures as one population batch: an
+        # engine-backed simulator synthesizes them in a single vectorized
+        # pass.  Semantics match the old one-query-per-structure loop:
+        # the plan evaluates in submission order and refuses (None) only
+        # new designs past the budget — exactly where the serial loop
+        # would have raised BudgetExhausted and ended the run.
+        plan = simulator.query_plan([builder(n) for builder in STRUCTURES.values()])
+        dataset.add_evaluations([e for e in plan if e is not None])
+        if any(e is None for e in plan):
+            return simulator.best()
         try:
-            for builder in STRUCTURES.values():
-                dataset.add_evaluations([simulator.query(builder(n))])
             # Each proposal depends on the previous result, so this inner
             # loop is inherently serial — the engine still serves it from
             # the shared persistent cache.

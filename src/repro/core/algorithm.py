@@ -24,7 +24,13 @@ from ..opt.variation import mutate, random_population
 from ..prefix.graph import PrefixGraph
 from ..prefix.structures import sklansky
 from .dataset import CircuitDataset
-from .search import SearchConfig, SearchTrace, initialize_latents, latent_gradient_search
+from .search import (
+    SearchConfig,
+    SearchTrace,
+    decode_and_query,
+    initialize_latents,
+    latent_gradient_search,
+)
 from .training import TrainConfig, train_model
 from .vae import CircuitVAEModel, VAEConfig
 
@@ -152,10 +158,12 @@ class CircuitVAEOptimizer(SearchAlgorithm):
             )
             self.traces.append(trace)
 
-            # Lines 9-11: decode, query, extend the dataset.
-            with stage(telemetry, "decode"):
-                designs = model.sample_designs(trace.captured_latents, rng)
-            evaluations = simulator.query_many(designs)
+            # Lines 9-11: decode, batch-query, extend the dataset.  The
+            # whole captured population goes through one EvalBatch, which
+            # an engine-backed simulator vectorizes.
+            _designs, evaluations = decode_and_query(
+                model, trace.captured_latents, simulator, rng, telemetry
+            )
             new_points = self.dataset.add_evaluations(evaluations)
             if simulator.history:
                 self.round_best.append(simulator.best().cost)

@@ -29,11 +29,18 @@ import numpy as np
 
 from .. import nn
 from ..engine.telemetry import EngineTelemetry, stage
+from ..opt.simulator import CircuitSimulator, Evaluation
 from ..prefix.graph import PrefixGraph
 from .dataset import CircuitDataset
 from .vae import CircuitVAEModel
 
-__all__ = ["SearchConfig", "SearchTrace", "initialize_latents", "latent_gradient_search"]
+__all__ = [
+    "SearchConfig",
+    "SearchTrace",
+    "initialize_latents",
+    "latent_gradient_search",
+    "decode_and_query",
+]
 
 InitMode = Literal["cost-weighted", "prior", "fixed-graph"]
 
@@ -94,6 +101,27 @@ def initialize_latents(
         mu, logvar = model.encode(grids)
     sigma = np.exp(0.5 * logvar.data)
     return mu.data + sigma * rng.standard_normal(mu.shape)
+
+
+def decode_and_query(
+    model: CircuitVAEModel,
+    latents: np.ndarray,
+    simulator: CircuitSimulator,
+    rng: np.random.Generator,
+    telemetry: Optional[EngineTelemetry] = None,
+) -> Tuple[List[PrefixGraph], List[Evaluation]]:
+    """Decode a latent population and evaluate it as one batch.
+
+    The shared tail of Algorithm 1 and latent BO (lines 9-10): sample
+    designs from the decoder, then submit the whole population in one
+    ``query_many`` round-trip, which an engine-backed simulator serves
+    with one vectorized synthesis pass (:mod:`repro.synth.batched`).
+    Semantics (budget accounting, history order, refusals) are identical
+    to querying the designs one by one.
+    """
+    with stage(telemetry, "decode"):
+        designs = model.sample_designs(latents, rng)
+    return designs, simulator.query_many(designs)
 
 
 def latent_gradient_search(

@@ -10,10 +10,13 @@ to *evaluate* them together.  :class:`EvalBatch` separates those phases:
 
 ``gather`` routes through ``simulator.query_plan`` — so against an
 :class:`~repro.engine.service.EngineSimulator` the whole batch is
-deduplicated, cache-served and synthesized in parallel, while against a
-plain serial :class:`~repro.opt.simulator.CircuitSimulator` it degrades
-to the exact serial loop.  Either way the semantics (budget accounting,
-``sim_index`` assignment, refusal behaviour) are identical.
+deduplicated, cache-served and pushed through one vectorized
+population synthesis (:mod:`repro.synth.batched`, chunked across pool
+workers when available), while against a plain serial
+:class:`~repro.opt.simulator.CircuitSimulator` it degrades to the exact
+serial loop.  Either way the semantics (budget accounting, ``sim_index``
+assignment, refusal behaviour) are identical — the backends are
+bit-identical by construction.
 """
 
 from __future__ import annotations

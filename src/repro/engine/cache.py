@@ -24,8 +24,9 @@ Disk format: ``<cache_dir>/<fingerprint>.jsonl``, one record per line::
     {"k": "<hex of packed grid bits>", "a": <area_um2>, "d": <delay_ns>}
 
 Append-only and last-writer-wins, so concurrent processes can share a
-directory; a truncated trailing line (crash mid-append) is skipped on
-load.
+directory; a truncated or otherwise corrupt line (crash mid-append,
+bit rot, manual edits) is skipped with a ``RuntimeWarning`` on load,
+and duplicate keys resolve to the newest record.
 """
 
 from __future__ import annotations
@@ -34,6 +35,7 @@ import hashlib
 import json
 import os
 import threading
+import warnings
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
@@ -154,6 +156,12 @@ class EvaluationCache:
 
     @staticmethod
     def _parse_line(raw: bytes):
+        """One JSONL record, or None (with a warning) if unparseable.
+
+        Corrupt lines — a crashed writer's truncated tail, bit rot, a
+        hand-edited shard — must never take the engine down: the record
+        is skipped and synthesis regenerates it on demand.
+        """
         line = raw.strip()
         if not line:
             return None
@@ -164,6 +172,12 @@ class EvaluationCache:
                 float(record["d"]),
             )
         except (ValueError, KeyError, TypeError):
+            preview = line[:60].decode("utf-8", errors="replace")
+            warnings.warn(
+                f"skipping corrupt evaluation-cache line: {preview!r}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             return None
 
     def _reload_entry(self, fingerprint: str, key: bytes) -> Optional[Metrics]:

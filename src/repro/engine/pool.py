@@ -1,10 +1,21 @@
-"""Multiprocessing synthesis workers.
+"""Multiprocessing synthesis workers + the vectorized batch fast path.
 
 Physical synthesis is pure Python and CPU-bound, so batches of *unique*
-legalized graphs are fanned out across ``fork``'ed worker processes.  The
-pool only ever sees (task, graph) pairs and returns (area, delay) metric
-tuples — budget accounting, caching and history stay in the parent, which
-is what keeps pooled execution bit-identical to serial execution.
+legalized graphs are executed through the fastest available backend.  The
+pool only ever sees (task, graphs) and returns (area, delay) metric
+tuples — budget accounting, caching and history stay in the parent, and
+every backend is bit-identical to serial per-graph synthesis, so the
+choice changes wall-clock only:
+
+* **vectorized** (default for any batch of >= 2 graphs): the whole
+  population goes through :meth:`CircuitTask.evaluate_many`
+  (:mod:`repro.synth.batched`), one numpy-vectorized pass instead of N
+  interpreter round-trips.  Set ``REPRO_VECTORIZED_EVAL=0`` to disable.
+* **vectorized + pooled**: with multiple workers and a large enough
+  batch, contiguous chunks are vectorized inside ``fork``'ed worker
+  processes.
+* **scalar / pooled scalar**: the reference per-graph loop, used for
+  single designs or when the fast path is disabled.
 
 Worker count comes from the constructor or the ``REPRO_ENGINE_WORKERS``
 environment variable (default 1 = serial, no processes spawned).  Worker
@@ -26,9 +37,10 @@ from typing import List, Optional, Sequence, Tuple
 from ..circuits.task import CircuitTask
 from ..prefix.graph import PrefixGraph
 
-__all__ = ["SynthesisPool", "default_worker_count"]
+__all__ = ["SynthesisPool", "default_worker_count", "vectorized_enabled"]
 
 _ENV_WORKERS = "REPRO_ENGINE_WORKERS"
+_ENV_VECTORIZED = "REPRO_VECTORIZED_EVAL"
 
 Metrics = Tuple[float, float]
 
@@ -42,10 +54,25 @@ def default_worker_count() -> int:
         return 1
 
 
+def vectorized_enabled() -> bool:
+    """Whether batches may use the vectorized fast path (default yes);
+    ``REPRO_VECTORIZED_EVAL=0`` opts out (e.g. to benchmark against the
+    scalar reference loop)."""
+    return os.environ.get(_ENV_VECTORIZED, "").strip() != "0"
+
+
 def _synth_job(task: CircuitTask, graph: PrefixGraph) -> Metrics:
     """Worker entry point: synthesize one graph, return its metrics."""
     result = task.synthesize(graph)
     return (result.area_um2, result.delay_ns)
+
+
+def _synth_many_job(task: CircuitTask, graphs: Sequence[PrefixGraph]) -> List[Metrics]:
+    """Worker entry point: vectorize one contiguous chunk of a batch."""
+    return [
+        (result.area_um2, result.delay_ns)
+        for result in task.evaluate_many(graphs)
+    ]
 
 
 class SynthesisPool:
@@ -101,12 +128,50 @@ class SynthesisPool:
         return self.workers > 1 and not self._pool_broken
 
     # ------------------------------------------------------------------
+    def execution_mode(self, count: int) -> str:
+        """How a batch of ``count`` designs would execute right now:
+        ``'vectorized'``, ``'pooled'`` or ``'serial'`` (telemetry uses
+        this to attribute stage time without changing behaviour)."""
+        if count >= 2 and vectorized_enabled():
+            return "vectorized"
+        if count > 1 and self.workers > 1 and not self._pool_broken:
+            return "pooled"
+        return "serial"
+
     def synthesize_batch(
         self, task: CircuitTask, graphs: Sequence[PrefixGraph]
     ) -> List[Metrics]:
-        """Synthesize unique graphs, in order; parallel when it pays off."""
+        """Synthesize unique graphs, in order, on the fastest backend.
+
+        Every backend produces bit-identical metrics (see
+        :mod:`repro.synth.batched`), so routing is purely a wall-clock
+        decision.
+        """
         if not graphs:
             return []
+        if self.execution_mode(len(graphs)) == "vectorized":
+            graphs = list(graphs)
+            # Big batches on a real pool: vectorize contiguous chunks in
+            # parallel workers; otherwise vectorize in-process.
+            if self.workers > 1 and len(graphs) >= 2 * self.workers:
+                pool = self._ensure_pool()
+                if pool is not None:
+                    base, extra = divmod(len(graphs), self.workers)
+                    chunks, start = [], 0
+                    for worker in range(self.workers):
+                        size = base + (1 if worker < extra else 0)
+                        if size:
+                            chunks.append(graphs[start : start + size])
+                            start += size
+                    job = functools.partial(_synth_many_job, task)
+                    try:
+                        parts = pool.map(job, chunks)
+                        return [metrics for part in parts for metrics in part]
+                    except (OSError, RuntimeError):
+                        with self._pool_lock:
+                            self._pool_broken = True
+                            self._pool = None
+            return _synth_many_job(task, graphs)
         if self.workers > 1 and len(graphs) > 1:
             pool = self._ensure_pool()
             if pool is not None:

@@ -15,7 +15,10 @@ Only the execution backend differs:
   falling back to synthesis;
 * ``query_plan``/``query_many`` batches classify the whole batch first
   (run-memo hits, in-batch duplicates, budget refusals) and then
-  synthesize the *unique new* graphs in one parallel pool submission.
+  synthesize the *unique new* graphs in one submission — by default one
+  vectorized :mod:`repro.synth.batched` pass over the whole population
+  (optionally chunked across pool workers), with telemetry splitting
+  synthesis time into ``synthesis_vectorized`` / ``synthesis_scalar``.
 
 Budget accounting is **identical** to serial execution by construction:
 the classification pass walks designs in submission order and assigns
@@ -146,16 +149,26 @@ class EvaluationEngine:
                         else:
                             still_owned.append(i)
                     if still_owned:
+                        mode = self.pool.execution_mode(len(still_owned))
+                        detail = (
+                            "synthesis_vectorized"
+                            if mode == "vectorized"
+                            else "synthesis_scalar"
+                        )
                         with stage_all(sinks, "synthesis"):
-                            fresh = self.pool.synthesize_batch(
-                                task, [graphs[i] for i in still_owned]
-                            )
+                            with stage_all(sinks, detail):
+                                fresh = self.pool.synthesize_batch(
+                                    task, [graphs[i] for i in still_owned]
+                                )
                         # Counted after the batch returns, so a raised
                         # synthesis doesn't skew hit-rate/throughput.
                         for sink in sinks:
                             sink.add("synth_calls", len(still_owned))
                             sink.add("batches")
                             sink.add("batch_designs", len(still_owned))
+                            if mode == "vectorized":
+                                sink.add("vector_batches")
+                                sink.add("vector_designs", len(still_owned))
                         for i, measured in zip(still_owned, fresh):
                             self.cache.put(fingerprint, graphs[i].key(), measured)
                             metrics[i] = measured
@@ -222,7 +235,8 @@ class EvaluationEngine:
                         sink.add("inflight_hits")
                     return hit
                 with stage_all(sinks, "synthesis"):
-                    metrics = self.pool.synthesize_batch(task, [graph])[0]
+                    with stage_all(sinks, "synthesis_scalar"):
+                        metrics = self.pool.synthesize_batch(task, [graph])[0]
                 for sink in sinks:
                     sink.add("synth_calls")
                 self.cache.put(fingerprint, graph.key(), metrics)

@@ -46,6 +46,13 @@ class EngineTelemetry:
         Batch entries skipped because the budget was exhausted.
     ``batches`` / ``batch_designs``
         Parallel batch submissions and their total size.
+    ``vector_batches`` / ``vector_designs``
+        Batch submissions (and their total size) that went through the
+        vectorized population fast path (:mod:`repro.synth.batched`)
+        instead of per-graph scalar synthesis.  Stage timers mirror the
+        split: ``synthesis`` is total synthesis wall-clock, with
+        ``synthesis_vectorized`` / ``synthesis_scalar`` attributing it
+        to the two execution paths.
     """
 
     _COUNTERS = (
@@ -58,6 +65,8 @@ class EngineTelemetry:
         "budget_refusals",
         "batches",
         "batch_designs",
+        "vector_batches",
+        "vector_designs",
     )
 
     def __init__(self) -> None:

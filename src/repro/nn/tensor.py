@@ -2,7 +2,8 @@
 
 This module is the foundation of :mod:`repro.nn`, the from-scratch neural
 network substrate used by the CircuitVAE reproduction (the paper used
-PyTorch, which is unavailable offline; see DESIGN.md).
+PyTorch, which is unavailable offline; the repo-root ``DESIGN.md``
+documents this and the other substrate stand-ins).
 
 The design is a classic define-by-run tape:
 

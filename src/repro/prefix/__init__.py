@@ -19,11 +19,15 @@ from .graph import PrefixGraph, Span
 from .io import graph_from_dict, graph_to_dict, load_designs, save_designs
 from .legalize import legalize, legalize_grid, prune_redundant
 from .metrics import (
+    batch_depths,
+    batch_levels,
+    batch_node_counts,
     depth,
     fanout_histogram,
     hamming_distance,
     max_fanout,
     node_count,
+    stacked_grids,
     structure_summary,
 )
 from .structures import (
@@ -85,4 +89,8 @@ __all__ = [
     "fanout_histogram",
     "hamming_distance",
     "structure_summary",
+    "stacked_grids",
+    "batch_levels",
+    "batch_depths",
+    "batch_node_counts",
 ]

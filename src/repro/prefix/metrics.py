@@ -1,14 +1,20 @@
-"""Structural metrics over prefix graphs.
+"""Structural metrics over prefix graphs — scalar and stacked-batch forms.
 
 Used by Fig. 8's structure comparison (best adder vs best gray-to-binary
 converter), by the analytics in the benchmark harnesses, and as features in
 tests' sanity assertions (e.g. Kogge-Stone has unit fanout, Sklansky has
 fanout ~ n/2).
+
+The ``stacked_grids`` / ``batch_*`` helpers lift the per-graph metrics to
+whole populations: one ``(B, n, n)`` boolean array, iterated cell-by-cell
+with numpy doing the batch dimension.  :mod:`repro.synth.batched` builds
+its per-population topological orders from ``batch_levels`` instead of B
+separate ``PrefixGraph.levels()`` dictionaries.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List, Sequence
 
 import numpy as np
 
@@ -21,6 +27,10 @@ __all__ = [
     "fanout_histogram",
     "hamming_distance",
     "structure_summary",
+    "stacked_grids",
+    "batch_levels",
+    "batch_depths",
+    "batch_node_counts",
 ]
 
 
@@ -52,6 +62,54 @@ def hamming_distance(a: PrefixGraph, b: PrefixGraph) -> int:
     if a.n != b.n:
         raise ValueError(f"width mismatch: {a.n} vs {b.n}")
     return int(np.count_nonzero(a.grid != b.grid))
+
+
+def stacked_grids(graphs: Sequence[PrefixGraph]) -> np.ndarray:
+    """Stack same-width graphs into one ``(B, n, n)`` boolean array."""
+    if not graphs:
+        raise ValueError("need at least one graph to stack")
+    n = graphs[0].n
+    for graph in graphs:
+        if graph.n != n:
+            raise ValueError(f"width mismatch in batch: {graph.n} vs {n}")
+    return np.stack([graph.grid for graph in graphs])
+
+
+def batch_levels(grids: np.ndarray) -> np.ndarray:
+    """Logic level of every present span, for a whole stack at once.
+
+    ``grids`` is a legal ``(B, n, n)`` stack; the result is ``(B, n, n)``
+    int64 with absent cells at 0.  Equals ``PrefixGraph.levels()`` entry
+    for entry: level(i, j) = max(level(i, k), level(k-1, j)) + 1 with
+    ``k`` the nearest present column right of ``j`` — resolved by one
+    right-to-left sweep per row, vectorized over the batch dimension.
+    """
+    grids = np.asarray(grids, dtype=bool)
+    if grids.ndim != 3 or grids.shape[1] != grids.shape[2]:
+        raise ValueError(f"expected a (B, n, n) stack, got shape {grids.shape}")
+    B, n, _ = grids.shape
+    rows = np.arange(B)
+    levels = np.zeros((B, n, n), dtype=np.int64)
+    for i in range(1, n):
+        nearest = np.full(B, i)  # diagonal (i, i) is always present
+        for j in range(i - 1, -1, -1):
+            present = grids[:, i, j]
+            upper = levels[rows, i, nearest]
+            lower = levels[rows, nearest - 1, j]
+            levels[:, i, j] = np.where(present, np.maximum(upper, lower) + 1, 0)
+            nearest = np.where(present, j, nearest)
+    return levels
+
+
+def batch_depths(grids: np.ndarray) -> np.ndarray:
+    """Critical logical depth per graph in a stack (``(B,)`` int64)."""
+    return batch_levels(grids).max(axis=(1, 2))
+
+
+def batch_node_counts(grids: np.ndarray) -> np.ndarray:
+    """Prefix-operator count per graph in a stack (``(B,)`` int64)."""
+    grids = np.asarray(grids, dtype=bool)
+    return grids.sum(axis=(1, 2)) - grids.shape[1]
 
 
 def structure_summary(graph: PrefixGraph) -> Dict[str, float]:

@@ -6,6 +6,7 @@ timing, fanout buffering, gate sizing, the paper's scalar cost function,
 and the commercial-tool emulation used by the Fig. 6 experiment.
 """
 
+from .batched import synthesize_many
 from .commercial import CommercialTool
 from .cost import AREA_SCALE, DELAY_SCALE, CostWeights, cost_from_metrics
 from .library import Cell, CellLibrary, LIBRARIES, nangate45, scaled_library
@@ -50,6 +51,7 @@ __all__ = [
     "buffer_fanout",
     "size_gates",
     "synthesize",
+    "synthesize_many",
     "CostWeights",
     "cost_from_metrics",
     "DELAY_SCALE",

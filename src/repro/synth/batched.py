@@ -1,0 +1,868 @@
+"""Vectorized batched synthesis: a whole population in numpy passes.
+
+:func:`synthesize_many` produces, for a batch of legal prefix graphs on
+one task configuration, results **bit-identical** to calling
+:func:`repro.synth.physical.synthesize` on each graph — but with the hot
+parts of the flow (placement geometry, wire loads, static timing and the
+iterative sizing loop; together ~80% of scalar wall-clock) executed as
+vectorized numpy passes over the *whole batch* instead of one
+Python-interpreted netlist at a time.
+
+The flow has two halves with very different batching structure:
+
+1. **Structural half** (map → buffer) is per-graph and integer-valued.
+   It runs through a *lean builder* — a faithful re-derivation of
+   :func:`~repro.synth.mapping.map_prefix_graph` and
+   :func:`~repro.synth.physical.buffer_fanout` over plain lists instead
+   of :class:`~repro.synth.netlist.Netlist` objects — sharing one
+   stacked level array (:func:`repro.prefix.metrics.batch_levels`) and
+   one set of IO name/arrival/margin templates across the population.
+   Every net/gate index, sink order and float operation matches the
+   reference flow, so downstream timing sees the same circuit in the
+   same order.
+
+2. **Geometry + timing half** (place → STA → sizing) runs fully packed:
+   all netlists are flattened into batch-wide index arrays (gates,
+   nets, sink CSR, per-level schedule); logic depth is solved by
+   vectorized longest-path relaxation, placement and wirelength by
+   array arithmetic, and each sizing pass walks every graph's critical
+   path simultaneously, one path position per vectorized step.
+
+Bit-identity discipline — the reference flow accumulates floats in
+well-defined orders, and every vectorized reduction here preserves them:
+
+* loads sum sink pin caps *in sink-list order* (sequential adds over
+  padded slot columns; adding the 0.0 pads is exact), then the wire
+  term, then per-PO loads — exactly ``net_load``'s order;
+* wirelength sums per-sink Manhattan terms in sink-list order the same
+  way;
+* arrival is ``max(0, fanin arrivals) + delay``: max and add are exact,
+  so level-synchronous propagation equals topological-order
+  propagation;
+* every elementwise formula (logical-effort delay, upsizing gain) uses
+  the same operator association as its scalar counterpart;
+* ordering decisions (critical-PO argmax, path sort, tie-breaks) follow
+  the scalar code's first-wins/stable-sort semantics.
+
+``tests/test_synth_batched.py`` asserts exact equality of every
+:class:`PhysicalResult` field against the scalar flow across circuit
+types, libraries, mapping styles, IO profiles and flow options.
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+from typing import Dict, List, Optional, Sequence, Tuple
+from weakref import WeakKeyDictionary
+
+import numpy as np
+
+from ..prefix.graph import PrefixGraph
+from ..prefix.metrics import batch_levels, stacked_grids
+from .library import CellLibrary
+from .physical import PhysicalResult, SynthesisOptions
+from .timing import IOTiming, PO_LOAD_FF
+
+__all__ = ["synthesize_many"]
+
+
+# ----------------------------------------------------------------------
+# Per-library lookup tables
+# ----------------------------------------------------------------------
+class _LibraryTables:
+    """Cell attributes as arrays indexed by a dense cell id.
+
+    Ids are assigned function-by-function (sorted names), variant-by-
+    variant (ascending drive), plus one trailing *dummy* id whose
+    capacitance/area are 0 — the padding target for sink-slot gathers.
+    """
+
+    def __init__(self, library: CellLibrary):
+        cells = []
+        for function in library.functions():
+            cells.extend(library.variants(function))
+        self.id_of: Dict[str, int] = {c.name: i for i, c in enumerate(cells)}
+        self.function_of: List[str] = [c.function for c in cells]
+        self.dummy = len(cells)
+        self.area = np.array([c.area for c in cells] + [0.0])
+        self.cap = np.array([c.input_cap for c in cells] + [0.0])
+        self.g = np.array([c.logical_effort for c in cells] + [0.0])
+        self.p = np.array([c.intrinsic_delay for c in cells] + [0.0])
+        # tau * logical_effort, the first product of _upsizing_gain's
+        # fanin term — precomputing it preserves the value exactly.
+        self.tau_g = library.tau_ns * self.g
+        self.drive = np.array([c.drive for c in cells] + [0], dtype=np.int64)
+        # resize(+1)/resize(-1) as id maps (-1 = no such variant).
+        up = np.full(len(cells) + 1, -1, dtype=np.int64)
+        down = np.full(len(cells) + 1, -1, dtype=np.int64)
+        for function in library.functions():
+            ids = [self.id_of[c.name] for c in library.variants(function)]
+            for a, b in zip(ids[:-1], ids[1:]):
+                up[a] = b
+                down[b] = a
+        self.up, self.down = up, down
+        self.smallest = {
+            function: self.id_of[library.smallest(function).name]
+            for function in library.functions()
+        }
+        self.buf_ids = [self.id_of[c.name] for c in library.variants("BUF")]
+        self.buf_caps = [c.input_cap for c in library.variants("BUF")]
+        # Function histogram support (count_by_function's sorted-name
+        # order is the id order: functions() is sorted).
+        functions = library.functions()
+        index_of = {f: i for i, f in enumerate(functions)}
+        self.function_names = functions
+        self.function_id = np.array(
+            [index_of[f] for f in self.function_of] + [len(functions)],
+            dtype=np.int64,
+        )
+
+
+_TABLES: "WeakKeyDictionary[CellLibrary, _LibraryTables]" = WeakKeyDictionary()
+
+
+def _tables_for(library: CellLibrary) -> _LibraryTables:
+    tables = _TABLES.get(library)
+    if tables is None:
+        tables = _LibraryTables(library)
+        _TABLES[library] = tables
+    return tables
+
+
+# ----------------------------------------------------------------------
+# Shared IO templates (identical for every graph in a batch)
+# ----------------------------------------------------------------------
+class _IOTemplate:
+    """PI/PO names, columns, arrivals and margins for one (n, type)."""
+
+    __slots__ = ("pi_col", "pi_arrival", "po_names", "po_margin", "num_pis")
+
+    def __init__(self, n: int, circuit_type: str, io_timing: IOTiming):
+        if circuit_type == "adder":
+            pi_names = [f"a[{i}]" for i in range(n)] + [f"b[{i}]" for i in range(n)]
+            self.pi_col = list(range(n)) + list(range(n))
+            self.po_names = [f"s[{i}]" for i in range(n)] + ["cout"]
+        elif circuit_type == "gray":
+            pi_names = [f"gray[{i}]" for i in range(n)]
+            self.pi_col = list(range(n))
+            self.po_names = [f"bin[{n - 1 - i}]" for i in range(n)]
+        elif circuit_type == "lzd":
+            pi_names = [f"x[{i}]" for i in range(n)]
+            self.pi_col = list(range(n))
+            self.po_names = [f"hot[{i}]" for i in range(n)] + ["all_zero"]
+        else:
+            raise ValueError(f"unknown circuit type {circuit_type!r}")
+        self.num_pis = len(pi_names)
+        self.pi_arrival = [io_timing.arrival(name) for name in pi_names]
+        self.po_margin = [io_timing.margin(name) for name in self.po_names]
+
+
+# ----------------------------------------------------------------------
+# Lean structural builder (mirror of mapping.py + physical.buffer_fanout
+# over plain lists; gate ``i`` drives net ``num_pis + i``)
+# ----------------------------------------------------------------------
+class _LeanNetlist:
+    __slots__ = ("gate_cell", "gate_in", "gate_col", "net_sinks", "po_net",
+                 "num_pis", "num_buffers")
+
+    def __init__(self, num_pis: int):
+        self.num_pis = num_pis
+        self.gate_cell: List[int] = []
+        self.gate_in: List[List[int]] = []
+        self.gate_col: List[Optional[float]] = []
+        self.net_sinks: List[List[Tuple[int, int]]] = [[] for _ in range(num_pis)]
+        self.po_net: List[int] = []  # aligned with the template's po_names
+        self.num_buffers = 0
+
+    @property
+    def num_nets(self) -> int:
+        return self.num_pis + len(self.gate_cell)
+
+
+def _span_plan(graph: PrefixGraph, levels: np.ndarray):
+    """Operator schedule shared by all three mappings.
+
+    Returns the non-diagonal spans as ``(level, i, j, k)`` tuples — ``k``
+    the upper parent's column, so parents are (i, k) and (k-1, j) — in
+    the exact order ``PrefixGraph.topological_order()`` visits them,
+    plus the ``_propagate_consumers`` truth table as a list-of-lists.
+    """
+    n = graph.n
+    ops: List[Tuple[int, int, int, int]] = []
+    grid = graph.grid
+    level_list = levels.tolist()
+    for i in range(1, n):
+        cols = np.nonzero(grid[i, : i + 1])[0].tolist()
+        row_levels = level_list[i]
+        for j, k in zip(cols[:-1], cols[1:]):
+            ops.append((row_levels[j], i, j, k))
+    # topological_order(): sorted by (level, node) over *all* present
+    # spans; diagonals (level 0) are skipped by every mapper, so the
+    # relative order of operators is unchanged by dropping them.  (i, j)
+    # is unique, so the trailing k never influences the sort.
+    ops.sort()
+    needs = [[False] * n for _ in range(n)]
+    for _lev, i, j, k in reversed(ops):
+        needs[i][k] = True  # p_up always feeds the carry operator
+        if needs[i][j]:
+            needs[k - 1][j] = True  # p' = p_up & p_lo only if p' is needed
+    return ops, needs
+
+
+def _map_adder_lean(graph, tables, ops, needs, style) -> _LeanNetlist:
+    # The gate-construction sequence of mapping.map_adder with the
+    # Netlist bookkeeping inlined over plain lists (this is the hottest
+    # structural loop of the batch, hence the manual appends and the
+    # list-of-lists span tables instead of tuple-keyed dicts).
+    n = graph.n
+    ln = _LeanNetlist(2 * n)
+    gate_cell, gate_in, gate_col = ln.gate_cell, ln.gate_in, ln.gate_col
+    net_sinks = ln.net_sinks
+    npi = 2 * n
+    and2, xor2 = tables.smallest["AND2"], tables.smallest["XOR2"]
+    or2, aoi21, inv = (
+        tables.smallest["OR2"], tables.smallest["AOI21"], tables.smallest["INV"],
+    )
+
+    g = [[0] * n for _ in range(n)]  # g[i][j] = net carrying span (i, j)
+    p = [[0] * n for _ in range(n)]
+    index = 0
+    for i in range(n):
+        gate_cell.append(and2)
+        gate_in.append([i, n + i])
+        gate_col.append(i)
+        net_sinks.append([])
+        net_sinks[i].append((index, 0))
+        net_sinks[n + i].append((index, 1))
+        g[i][i] = npi + index
+        index += 1
+        gate_cell.append(xor2)
+        gate_in.append([i, n + i])
+        gate_col.append(i)
+        net_sinks.append([])
+        net_sinks[i].append((index, 0))
+        net_sinks[n + i].append((index, 1))
+        p[i][i] = npi + index
+        index += 1
+    aoi = style == "aoi"
+    for _lev, i, j, k in ops:
+        row_g, row_p = g[i], p[i]
+        p_up, g_lo, g_up = row_p[k], g[k - 1][j], row_g[k]
+        if aoi:
+            gate_cell.append(aoi21)
+            gate_in.append([p_up, g_lo, g_up])
+            gate_col.append(i)
+            net_sinks.append([])
+            net_sinks[p_up].append((index, 0))
+            net_sinks[g_lo].append((index, 1))
+            net_sinks[g_up].append((index, 2))
+            aoi_out = npi + index
+            index += 1
+            gate_cell.append(inv)
+            gate_in.append([aoi_out])
+            gate_col.append(i)
+            net_sinks.append([])
+            net_sinks[aoi_out].append((index, 0))
+        else:
+            gate_cell.append(and2)
+            gate_in.append([p_up, g_lo])
+            gate_col.append(i)
+            net_sinks.append([])
+            net_sinks[p_up].append((index, 0))
+            net_sinks[g_lo].append((index, 1))
+            and_out = npi + index
+            index += 1
+            gate_cell.append(or2)
+            gate_in.append([g_up, and_out])
+            gate_col.append(i)
+            net_sinks.append([])
+            net_sinks[g_up].append((index, 0))
+            net_sinks[and_out].append((index, 1))
+        row_g[j] = npi + index
+        index += 1
+        if needs[i][j]:
+            p_lo = p[k - 1][j]
+            gate_cell.append(and2)
+            gate_in.append([p_up, p_lo])
+            gate_col.append(i)
+            net_sinks.append([])
+            net_sinks[p_up].append((index, 0))
+            net_sinks[p_lo].append((index, 1))
+            row_p[j] = npi + index
+            index += 1
+    ln.po_net.append(p[0][0])  # s[0]
+    for i in range(1, n):
+        p_i, carry = p[i][i], g[i - 1][0]
+        gate_cell.append(xor2)
+        gate_in.append([p_i, carry])
+        gate_col.append(i)
+        net_sinks.append([])
+        net_sinks[p_i].append((index, 0))
+        net_sinks[carry].append((index, 1))
+        ln.po_net.append(npi + index)  # s[i]
+        index += 1
+    ln.po_net.append(g[n - 1][0])  # cout
+    return ln
+
+
+def _map_xor_or_lean(graph, tables, ops, circuit_type) -> _LeanNetlist:
+    """Shared body of the gray (XOR-prefix) and lzd (OR-prefix) mappings."""
+    n = graph.n
+    ln = _LeanNetlist(n)
+    gate_cell, gate_in, gate_col = ln.gate_cell, ln.gate_in, ln.gate_col
+    net_sinks = ln.net_sinks
+
+    def add(cell: int, inputs: List[int], column: int) -> int:
+        index = len(gate_cell)
+        gate_cell.append(cell)
+        gate_in.append(inputs)
+        gate_col.append(column)
+        net_sinks.append([])
+        for pin, net in enumerate(inputs):
+            net_sinks[net].append((index, pin))
+        return n + index
+
+    op_cell = tables.smallest["XOR2" if circuit_type == "gray" else "OR2"]
+    value = [[0] * n for _ in range(n)]  # value[i][j] = net of span (i, j)
+    for i in range(n):
+        value[i][i] = n - 1 - i
+    for _lev, i, j, k in ops:
+        value[i][j] = add(op_cell, [value[i][k], value[k - 1][j]], i)
+    if circuit_type == "gray":
+        for i in range(n):
+            ln.po_net.append(value[i][0])  # bin[n-1-i]
+        return ln
+    and2, inv = tables.smallest["AND2"], tables.smallest["INV"]
+    ln.po_net.append(value[0][0])  # hot[0]
+    prev_flag = value[0][0]
+    for i in range(1, n):
+        flag = value[i][0]
+        not_prev = add(inv, [prev_flag], i)
+        ln.po_net.append(add(and2, [flag, not_prev], i))  # hot[i]
+        prev_flag = flag
+    ln.po_net.append(add(inv, [value[n - 1][0]], n - 1))  # all_zero
+    return ln
+
+
+def _buffer_candidates(ln: _LeanNetlist, max_fanout: int) -> List[int]:
+    """Nets over the fanout limit, ascending (C-speed length scan)."""
+    lengths = np.fromiter(map(len, ln.net_sinks), np.int64, count=ln.num_nets)
+    return np.flatnonzero(lengths > max_fanout).tolist()
+
+
+def _buffer_fanout_lean(ln: _LeanNetlist, tables: _LibraryTables, max_fanout: int) -> None:
+    """Mirror of ``physical.buffer_fanout`` over the lean structure."""
+    if max_fanout < 2:
+        raise ValueError("max_fanout must be >= 2")
+    caps = tables.cap.tolist()  # python floats: exact values, faster sums
+    buf_pairs = list(zip(tables.buf_ids, tables.buf_caps))
+    gate_cell, gate_in, gate_col = ln.gate_cell, ln.gate_in, ln.gate_col
+    net_sinks = ln.net_sinks
+    npi = ln.num_pis
+    # Scalar buffer_fanout scans every net id descending (pop from the
+    # end of range(num_nets)); nets at or under the limit are no-ops, so
+    # pre-filtering them preserves the processing order exactly.  A net
+    # can only *lose* sinks, so the filter stays complete.
+    queue = _buffer_candidates(ln, max_fanout)
+    while queue:
+        net = queue.pop()
+        sinks = list(net_sinks[net])
+        if len(sinks) <= max_fanout:
+            continue
+        groups = [sinks[k : k + max_fanout] for k in range(0, len(sinks), max_fanout)]
+        for group in groups:
+            load = sum(caps[gate_cell[g]] for g, _ in group)
+            cell_id = buf_pairs[0][0]
+            for cell_id, cap in buf_pairs:
+                if cap * 4.0 >= load:
+                    break
+            sink_columns = [
+                gate_col[g] for g, _ in group if gate_col[g] is not None
+            ]
+            centroid = sum(sink_columns) / len(sink_columns) if sink_columns else None
+            index = len(gate_cell)
+            gate_cell.append(cell_id)
+            gate_in.append([net])
+            gate_col.append(centroid)
+            net_sinks.append([])
+            net_sinks[net].append((index, 0))
+            buf_out = npi + index
+            ln.num_buffers += 1
+            for sink in group:
+                net_sinks[net].remove(sink)
+                gate_index, pin = sink
+                gate_in[gate_index][pin] = buf_out
+                net_sinks[buf_out].append(sink)
+        if len(net_sinks[net]) > max_fanout:
+            queue.append(net)
+
+
+def _build_lean(graph, tables, circuit_type, options, levels) -> _LeanNetlist:
+    ops, needs = _span_plan(graph, levels)
+    if circuit_type == "adder":
+        ln = _map_adder_lean(graph, tables, ops, needs, options.mapping_style)
+    else:
+        ln = _map_xor_or_lean(graph, tables, ops, circuit_type)
+    _buffer_fanout_lean(ln, tables, options.max_fanout)
+    return ln
+
+
+# ----------------------------------------------------------------------
+# Batch packing + vectorized geometry
+# ----------------------------------------------------------------------
+class _PackedBatch:
+    """All lean netlists of a population, flattened into index arrays.
+
+    Gates and nets get *flat* ids across the batch (per-graph offsets);
+    every padded slot points at the trailing dummy gate (cell cap 0) or
+    dummy net (arrival 0), so sequential accumulation over pad columns
+    is a numeric no-op.  Placement, per-net wirelength and the logic-
+    depth schedule are derived here with batch-wide array arithmetic.
+    """
+
+    def __init__(self, leans: List[_LeanNetlist], tables: _LibraryTables,
+                 library: CellLibrary, template: _IOTemplate):
+        self.tables = tables
+        self.tau = library.tau_ns
+        B = len(leans)
+        self.B = B
+        npi = template.num_pis
+        gate_counts = np.array([len(ln.gate_cell) for ln in leans])
+        net_counts = gate_counts + npi
+        self.gate_off = np.concatenate([[0], np.cumsum(gate_counts)])
+        self.net_off = np.concatenate([[0], np.cumsum(net_counts)])
+        G = int(self.gate_off[-1])
+        N = int(self.net_off[-1])
+        self.G, self.N = G, N
+        self.gate_graph = np.repeat(np.arange(B), gate_counts)
+        self.net_graph = np.repeat(np.arange(B), net_counts)
+
+        # --- flat gate arrays (one trailing dummy slot in gate_cell) ---
+        gate_cell = np.empty(G + 1, dtype=np.int64)
+        gate_cell[:G] = np.fromiter(
+            chain.from_iterable(ln.gate_cell for ln in leans), np.int64, count=G
+        )
+        gate_cell[G] = tables.dummy
+        # gate g of graph b drives net net_off[b] + npi + local_index.
+        gate_out = (
+            np.arange(G) - self.gate_off[self.gate_graph]
+            + self.net_off[self.gate_graph] + npi
+        )
+        net_driver = np.full(N + 1, -1, dtype=np.int64)
+        net_driver[gate_out] = np.arange(G)
+
+        pin_counts = np.fromiter(
+            chain.from_iterable(map(len, ln.gate_in) for ln in leans),
+            np.int64, count=G,
+        )
+        total_pins = int(pin_counts.sum())
+        flat_pins = np.fromiter(
+            chain.from_iterable(
+                chain.from_iterable(ln.gate_in) for ln in leans
+            ),
+            np.int64, count=total_pins,
+        )
+        pin_gate = np.repeat(np.arange(G), pin_counts)
+        flat_pins += self.net_off[self.gate_graph[pin_gate]]
+        pin_slot = np.arange(total_pins) - np.repeat(
+            np.concatenate([[0], np.cumsum(pin_counts)[:-1]]), pin_counts
+        )
+        gate_in = np.full((G, 3), N, dtype=np.int64)  # pad = dummy net
+        gate_in[pin_gate, pin_slot] = flat_pins
+
+        # --- sink CSR (per net, in sink-list order) --------------------
+        # Every net_sinks list is ascending in (gate, pin) — mapping
+        # appends gates in creation order, buffering appends only newer
+        # gates and removals keep the rest ordered (same invariant holds
+        # in the reference Netlist).  So grouping the pin arrays by net
+        # with a stable sort reproduces the sink-list order exactly.
+        sink_order = np.argsort(flat_pins, kind="stable")
+        sink_counts = np.bincount(flat_pins, minlength=N)[:N]
+        max_sinks = int(sink_counts.max()) if N else 0
+        sink_net = np.repeat(np.arange(N), sink_counts)
+        sink_slot = np.arange(total_pins) - np.repeat(
+            np.concatenate([[0], np.cumsum(sink_counts)[:-1]]), sink_counts
+        )
+        net_sink_gate = np.full((N, max_sinks), G, dtype=np.int64)  # pad = dummy
+        net_sink_gate[sink_net, sink_slot] = pin_gate[sink_order]
+
+        # --- logic depth by longest-path relaxation --------------------
+        # place_datapath's level: max over driven fanins of depth+1.
+        # Iterating to fixpoint converges in max-depth steps and matches
+        # the topological computation exactly (integer max/add).  The
+        # dummy slot holds -1 so undriven pins contribute max(-1)+1 = 0
+        # without masking.
+        pin_driver = net_driver[gate_in]  # (G, 3); -1 for PI / pad
+        driver0 = np.where(pin_driver[:, 0] >= 0, pin_driver[:, 0], G)
+        driver1 = np.where(pin_driver[:, 1] >= 0, pin_driver[:, 1], G)
+        driver2 = np.where(pin_driver[:, 2] >= 0, pin_driver[:, 2], G)
+        depth = np.empty(G + 1, dtype=np.int64)
+        depth[:G] = 0
+        depth[G] = -1
+        while True:
+            cand = np.maximum(
+                np.maximum(depth[driver0], depth[driver1]), depth[driver2]
+            )
+            cand += 1
+            if np.array_equal(cand, depth[:G]):
+                break
+            depth[:G] = cand
+        self.gate_level = depth[:G]
+
+        # --- placement (x, y) and static wirelengths -------------------
+        pitch, row_height = library.bit_pitch_um, library.row_height_um
+        fallback: List[Tuple[int, int]] = []  # (flat gate, graph) hint gaps
+        column_parts = []
+        for b, ln in enumerate(leans):
+            try:
+                column_parts.append(np.asarray(ln.gate_col, dtype=np.float64))
+            except TypeError:  # a None centroid (no sink columns): rare
+                goff = int(self.gate_off[b])
+                cols = np.empty(len(ln.gate_col))
+                for gi, col in enumerate(ln.gate_col):
+                    if col is None:
+                        fallback.append((goff + gi, b))
+                        cols[gi] = 0.0
+                    else:
+                        cols[gi] = col
+                column_parts.append(cols)
+        x = np.concatenate(column_parts) * pitch if G else np.empty(0)
+        y = self.gate_level * row_height
+        if fallback:
+            self._resolve_fallback_columns(leans, fallback, template, pitch, x)
+        x_ext = np.append(x, 0.0)
+        y_ext = np.append(y, 0.0)
+
+        pi_col = np.asarray(template.pi_col, dtype=np.float64)
+        x0 = np.empty(N)
+        y0 = np.zeros(N)
+        for b in range(B):
+            noff = int(self.net_off[b])
+            x0[noff : noff + npi] = pi_col * pitch
+        driven = net_driver[:N] >= 0
+        drv = np.where(driven, net_driver[:N], 0)
+        x0 = np.where(driven, x[drv], x0)
+        y0 = np.where(driven, y[drv], y0)
+        # wire_length: per-sink |dx| + |dy| summed in sink-list order.
+        wire = np.zeros(N)
+        valid = net_sink_gate < G
+        for slot in range(max_sinks):
+            sg = net_sink_gate[:, slot]
+            term = np.abs(x_ext[sg] - x0) + np.abs(y_ext[sg] - y0)
+            wire = wire + np.where(valid[:, slot], term, 0.0)
+        self.wire_lengths = wire
+        # net_load's `wire_length * wire_cap_per_um` product, precomputed.
+        self.wire_terms = wire * library.wire_cap_per_um
+
+        # --- PI arrivals, POs ------------------------------------------
+        net_pi_arrival = np.zeros(N)
+        pi_arr = np.asarray(template.pi_arrival)
+        po_count = len(template.po_names)
+        net_po_count = np.zeros(N, dtype=np.int64)
+        po_net = np.empty(B * po_count, dtype=np.int64)
+        for b, ln in enumerate(leans):
+            noff = int(self.net_off[b])
+            net_pi_arrival[noff : noff + npi] = pi_arr
+            po_net[b * po_count : (b + 1) * po_count] = ln.po_net
+            po_net[b * po_count : (b + 1) * po_count] += noff
+        np.add.at(net_po_count, po_net, 1)
+        self.net_pi_arrival = net_pi_arrival
+        self.net_po_count = net_po_count
+        self.max_po_mult = int(net_po_count.max()) if N else 0
+        self.po_net = po_net
+        self.po_margin = np.tile(np.asarray(template.po_margin), B)
+        self.po_count = po_count
+        self.po_names = template.po_names
+
+        self.gate_cell = gate_cell
+        self.gate_out = gate_out
+        self.gate_in = gate_in
+        self.net_sink_gate = net_sink_gate
+        self.net_driver = net_driver
+        self.max_sinks = max_sinks
+        self._all_nets = np.arange(N)
+
+        # Level-synchronous schedule: gates grouped by logic level.
+        self.level_order = np.argsort(self.gate_level, kind="stable")
+        sorted_levels = self.gate_level[self.level_order]
+        max_level = int(self.gate_level.max()) if G else -1
+        level_bounds = np.searchsorted(sorted_levels, np.arange(max_level + 2))
+        self.level_idx = [
+            self.level_order[level_bounds[level] : level_bounds[level + 1]]
+            for level in range(max_level + 1)
+        ]
+        # PO load contributions, one layer per multiplicity step (net_load
+        # adds PO_LOAD_FF once per primary output on the net).
+        self.po_add = [
+            np.where(net_po_count > repeat, PO_LOAD_FF, 0.0)
+            for repeat in range(self.max_po_mult)
+        ]
+
+    # ------------------------------------------------------------------
+    def _resolve_fallback_columns(self, leans, fallback, template, pitch, x):
+        """placement._resolve_column's fanin-centroid fallback.
+
+        Only reachable for gates without a mapping/centroid column hint,
+        which the builders never produce in practice — kept for strict
+        parity with the reference placer.
+        """
+        for flat_gate, b in fallback:
+            goff, noff = int(self.gate_off[b]), int(self.net_off[b])
+            ln = leans[b]
+            npi = ln.num_pis
+            memo: Dict[int, float] = {}
+
+            def resolve(gi: int) -> float:
+                if gi in memo:
+                    return memo[gi]
+                column = ln.gate_col[gi]
+                if column is not None:
+                    memo[gi] = float(column)
+                    return memo[gi]
+                memo[gi] = 0.0
+                cols = [
+                    resolve(net - npi) if net >= npi
+                    else float(template.pi_col[net])
+                    for net in ln.gate_in[gi]
+                ]
+                memo[gi] = sum(cols) / len(cols) if cols else 0.0
+                return memo[gi]
+
+            x[flat_gate] = resolve(flat_gate - goff) * pitch
+
+    # ------------------------------------------------------------------
+    def net_loads(self, nets: np.ndarray) -> np.ndarray:
+        """Capacitive load of ``nets``, in ``net_load``'s accumulation
+        order: sink pins (sink-list order), wire term, PO loads."""
+        tables = self.tables
+        load = np.zeros(len(nets))
+        sink_rows = self.net_sink_gate[nets]
+        for slot in range(self.max_sinks):
+            load = load + tables.cap[self.gate_cell[sink_rows[:, slot]]]
+        load = load + self.wire_terms[nets]
+        for layer in self.po_add:
+            load = load + layer[nets]
+        return load
+
+    def sta(self):
+        """Batched mirror of ``timing.analyze_timing``.
+
+        Returns ``(arrival, gate_delay, delay_ns, crit_po)`` where
+        ``arrival`` is flat over nets (+1 dummy slot) and ``delay_ns`` /
+        ``crit_po`` are per graph.
+        """
+        tables = self.tables
+        cells = self.gate_cell[: self.G]
+        loads = self.net_loads(self._all_nets)
+        gate_load = loads[self.gate_out]
+        caps = tables.cap[cells]
+        # Mirror of Cell.delay: tau * (p + g * (load / cap)).
+        gate_delay = self.tau * (
+            tables.p[cells] + tables.g[cells] * (gate_load / caps)
+        )
+        arrival = np.append(self.net_pi_arrival, 0.0)
+        for idx in self.level_idx:
+            worst = arrival[self.gate_in[idx]].max(axis=1)
+            # analyze_timing starts its fanin scan at worst = 0.0.
+            np.maximum(worst, 0.0, out=worst)
+            arrival[self.gate_out[idx]] = worst + gate_delay[idx]
+        endpoints = arrival[self.po_net] + self.po_margin
+        # Per-graph argmax == the scalar strict-`>` scan (first max wins).
+        crit_local = np.argmax(endpoints.reshape(self.B, self.po_count), axis=1)
+        crit_po = np.arange(self.B) * self.po_count + crit_local
+        delay_ns = endpoints[crit_po]
+        return arrival, gate_delay, delay_ns, crit_po
+
+    def trace_path(self, crit_po: int, arrival: np.ndarray) -> List[int]:
+        """Mirror of analyze_timing's backwards critical-path walk."""
+        path: List[int] = []
+        net = int(self.po_net[crit_po])
+        N = self.N
+        gate_in, net_driver = self.gate_in, self.net_driver
+        while net >= 0:
+            gate = int(net_driver[net])
+            if gate < 0:
+                break
+            path.append(gate)
+            # First strict max wins over the pin order, like the scalar
+            # walk's Python max (pads point at the dummy net, skipped).
+            best = -1
+            best_arrival = 0.0
+            for n in gate_in[gate].tolist():
+                if n == N:
+                    continue
+                a = arrival[n]
+                if best < 0 or a > best_arrival:
+                    best, best_arrival = n, a
+            net = best
+        path.reverse()
+        return path
+
+
+# ----------------------------------------------------------------------
+# Batched sizing (mirror of physical.size_gates, batch-lockstep)
+# ----------------------------------------------------------------------
+def _size_gates_batched(pb: _PackedBatch, options: SynthesisOptions):
+    """Run every graph's sizing loop simultaneously.
+
+    Each pass mirrors ``size_gates`` decision for decision: critical-path
+    gates are visited in stable descending-delay order *one position per
+    vectorized step* (so earlier swaps feed later gains, as in the scalar
+    loop), area recovery is one vectorized sweep against the pass-entry
+    report, and regression rollback/early-stop happen per graph.
+    """
+    tables = pb.tables
+    arrival, gate_delay, delay_ns, crit_po = pb.sta()
+    if options.sizing_passes <= 0:
+        return delay_ns, crit_po
+    paths = [pb.trace_path(int(crit_po[b]), arrival) for b in range(pb.B)]
+    active = np.ones(pb.B, dtype=bool)
+    graph_ids = np.arange(pb.B)
+
+    for _ in range(options.sizing_passes):
+        if not active.any():
+            break
+        snapshot = pb.gate_cell[: pb.G].copy()
+        changed = np.zeros(pb.B, dtype=bool)
+
+        # ---- critical-path upsizing, worst offenders first ------------
+        ordered = [
+            sorted(paths[b], key=lambda g: -gate_delay[g]) if active[b] else []
+            for b in range(pb.B)
+        ]
+        max_len = max((len(p) for p in ordered), default=0)
+        path_arr = np.full((pb.B, max_len), -1, dtype=np.int64)
+        for b, p in enumerate(ordered):
+            path_arr[b, : len(p)] = p
+        for k in range(max_len):
+            col = path_arr[:, k]
+            sel = col >= 0
+            if not sel.any():
+                continue
+            gates = col[sel]
+            cur = pb.gate_cell[gates]
+            up = tables.up[cur]
+            has_up = up >= 0
+            up_safe = np.where(has_up, up, cur)
+            load = pb.net_loads(pb.gate_out[gates])
+            cur_cap = tables.cap[cur]
+            big_cap = tables.cap[up_safe]
+            # _upsizing_gain: bigger.delay(load) - cell.delay(load) ...
+            own_delta = pb.tau * (
+                tables.p[up_safe] + tables.g[up_safe] * (load / big_cap)
+            ) - pb.tau * (tables.p[cur] + tables.g[cur] * (load / cur_cap))
+            cap_delta = big_cap - cur_cap
+            fanin_delta = np.zeros(len(gates))
+            for pin in range(3):
+                pin_net = pb.gate_in[gates, pin]
+                driver = pb.net_driver[pin_net]
+                has_driver = driver >= 0
+                driver_safe = np.where(has_driver, driver, 0)
+                driver_cell = pb.gate_cell[driver_safe]
+                term = (
+                    tables.tau_g[driver_cell] * cap_delta
+                    / tables.cap[driver_cell]
+                )
+                fanin_delta = fanin_delta + np.where(has_driver, term, 0.0)
+            apply = has_up & ((own_delta + fanin_delta) < -1e-6)
+            if apply.any():
+                pb.gate_cell[gates[apply]] = up[apply]
+                changed[graph_ids[sel][apply]] = True
+
+        # ---- slack-driven area recovery -------------------------------
+        if options.area_recovery:
+            cells = pb.gate_cell[: pb.G]
+            down = tables.down[cells]
+            threshold = options.slack_threshold * delay_ns
+            slack = delay_ns[pb.gate_graph] - arrival[pb.gate_out]
+            shrink = (
+                active[pb.gate_graph]
+                & (tables.drive[cells] != 1)
+                & (slack > threshold[pb.gate_graph])
+                & (down >= 0)
+            )
+            if shrink.any():
+                idx = np.flatnonzero(shrink)
+                pb.gate_cell[idx] = down[idx]
+                changed[np.unique(pb.gate_graph[idx])] = True
+
+        # ---- accept / rollback / stop ---------------------------------
+        still = active & changed
+        if not still.any():
+            break
+        new_arrival, new_gate_delay, new_delay, new_crit = pb.sta()
+        regressed = still & (new_delay > delay_ns + 1e-12)
+        if regressed.any():
+            mask = regressed[pb.gate_graph]
+            pb.gate_cell[: pb.G][mask] = snapshot[mask]
+        accepted = still & ~regressed
+        delay_ns = np.where(accepted, new_delay, delay_ns)
+        crit_po = np.where(accepted, new_crit, crit_po)
+        arrival = np.where(
+            np.append(accepted[pb.net_graph], False), new_arrival, arrival
+        )
+        gate_delay = np.where(accepted[pb.gate_graph], new_gate_delay, gate_delay)
+        for b in np.flatnonzero(accepted):
+            paths[b] = pb.trace_path(int(crit_po[b]), arrival)
+        active = accepted
+
+    return delay_ns, crit_po
+
+
+# ----------------------------------------------------------------------
+# Public entry point
+# ----------------------------------------------------------------------
+def synthesize_many(
+    graphs: Sequence[PrefixGraph],
+    library: CellLibrary,
+    circuit_type: str = "adder",
+    io_timing: Optional[IOTiming] = None,
+    options: Optional[SynthesisOptions] = None,
+) -> List[PhysicalResult]:
+    """Synthesize a population; bit-identical to the per-graph flow."""
+    graphs = list(graphs)
+    if not graphs:
+        return []
+    io_timing = io_timing or IOTiming()
+    options = options or SynthesisOptions()
+    tables = _tables_for(library)
+    template = _IOTemplate(graphs[0].n, circuit_type, io_timing)
+    level_stack = batch_levels(stacked_grids(graphs))
+    leans = [
+        _build_lean(graph, tables, circuit_type, options, level_stack[b])
+        for b, graph in enumerate(graphs)
+    ]
+    pb = _PackedBatch(leans, tables, library, template)
+    delay_ns, crit_po = _size_gates_batched(pb, options)
+
+    results: List[PhysicalResult] = []
+    area_of = tables.area
+    function_names = tables.function_names
+    num_functions = len(function_names)
+    for b, ln in enumerate(leans):
+        goff, gend = int(pb.gate_off[b]), int(pb.gate_off[b + 1])
+        noff, nend = int(pb.net_off[b]), int(pb.net_off[b + 1])
+        cells = pb.gate_cell[goff:gend]
+        # Python sums in gate/net order — the exact accumulation order of
+        # Netlist.area() and placement.total_wire_length().
+        area = sum(area_of[cells].tolist())
+        wirelength = sum(pb.wire_lengths[noff:nend].tolist())
+        histogram = np.bincount(
+            tables.function_id[cells], minlength=num_functions
+        )
+        results.append(
+            PhysicalResult(
+                area_um2=area,
+                delay_ns=float(delay_ns[b]),
+                num_gates=len(ln.gate_cell),
+                num_buffers=ln.num_buffers,
+                wirelength_um=wirelength,
+                cell_counts={
+                    function_names[i]: int(count)
+                    for i, count in enumerate(histogram[:num_functions])
+                    if count
+                },
+                critical_output=pb.po_names[int(crit_po[b]) % pb.po_count],
+            )
+        )
+    return results

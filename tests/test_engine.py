@@ -5,6 +5,7 @@ import pytest
 
 from helpers import unique_random_graphs as unique_graphs
 
+from repro.api import ExperimentSpec, MethodSpec, Session, TaskSpec
 from repro.baselines import GAConfig, GeneticAlgorithm, RandomSearch
 from repro.circuits import adder_task
 from repro.engine import (
@@ -16,8 +17,37 @@ from repro.engine import (
     SynthesisPool,
     task_fingerprint,
 )
-from repro.opt import BudgetExhausted, CircuitSimulator, run_comparison
+from repro.opt import BudgetExhausted, CircuitSimulator, RunRecord
 from repro.prefix import sklansky
+
+TASK_SPEC = TaskSpec(circuit_type="adder", n=16, delay_weight=0.66)
+
+
+def run_serial_grid(factory, task, budget, seeds, method_name):
+    """The plain pre-engine reference: one serial simulator per seed."""
+    records = []
+    for seed in seeds:
+        simulator = CircuitSimulator(task, budget=budget)
+        try:
+            factory(seed).run(simulator, np.random.default_rng(seed))
+        except BudgetExhausted:
+            pass
+        records.append(RunRecord.from_simulator(method_name, seed, simulator))
+    return records
+
+
+def run_session_grid(engine, methods, budget, seeds, parallel_seeds=1):
+    """The supported engine path: a Session adopting ``engine``."""
+    spec = ExperimentSpec(
+        name="engine-grid",
+        task=TASK_SPEC,
+        methods=methods,
+        budget=budget,
+        seeds=tuple(seeds),
+        curve_points=min(8, budget),
+    )
+    with Session(engine=engine, parallel_seeds=parallel_seeds) as session:
+        return session.run(spec)
 
 
 @pytest.fixture
@@ -66,14 +96,53 @@ class TestEvaluationCache:
         # Second hit is served from the memory front.
         assert fresh.get_with_origin(fp, key)[1] == "memory"
 
-    def test_truncated_trailing_line_is_skipped(self, task, tmp_path):
+    def test_truncated_trailing_line_is_skipped_with_warning(self, task, tmp_path):
         fp = task_fingerprint(task)
         key = sklansky(16).key()
         cache = EvaluationCache(cache_dir=str(tmp_path))
         cache.put(fp, key, (1.0, 2.0))
         with open(tmp_path / f"{fp}.jsonl", "a") as handle:
             handle.write('{"k": "dead')  # crashed writer
-        assert EvaluationCache(cache_dir=str(tmp_path)).get(fp, key) == (1.0, 2.0)
+        with pytest.warns(RuntimeWarning, match="corrupt evaluation-cache line"):
+            assert EvaluationCache(cache_dir=str(tmp_path)).get(fp, key) == (1.0, 2.0)
+
+    def test_garbage_lines_are_skipped_with_warning(self, task, tmp_path):
+        # Bit rot / hand edits anywhere in a shard must not crash the
+        # engine: every malformed shape warns and is skipped, and the
+        # surviving records still load.
+        fp = task_fingerprint(task)
+        good = unique_graphs(16, 2)
+        cache = EvaluationCache(cache_dir=str(tmp_path))
+        cache.put(fp, good[0].key(), (1.0, 2.0))
+        path = tmp_path / f"{fp}.jsonl"
+        with open(path, "a") as handle:
+            handle.write("not json at all\n")
+            handle.write('{"k": "zz-not-hex", "a": 1, "d": 2}\n')  # bad key hex
+            handle.write('{"a": 1.0, "d": 2.0}\n')  # missing key field
+            handle.write('{"k": "00", "a": "NaN-ish", "d": []}\n')  # bad types
+            handle.write("\n")  # blank lines stay silent
+        cache.put(fp, good[1].key(), (3.0, 4.0))
+        with pytest.warns(RuntimeWarning, match="corrupt evaluation-cache line"):
+            fresh = EvaluationCache(cache_dir=str(tmp_path))
+            assert fresh.get(fp, good[0].key()) == (1.0, 2.0)
+        assert fresh.get(fp, good[1].key()) == (3.0, 4.0)
+
+    def test_duplicate_keys_keep_latest_record(self, task, tmp_path):
+        # Append-only shards are last-writer-wins; a reload must resolve
+        # duplicates to the newest record (both served and re-persisted).
+        fp = task_fingerprint(task)
+        key = sklansky(16).key()
+        cache = EvaluationCache(cache_dir=str(tmp_path))
+        cache.put(fp, key, (1.0, 2.0))
+        cache.put(fp, key, (5.0, 6.0))
+        cache.put(fp, key, (9.0, 10.0))
+        fresh = EvaluationCache(cache_dir=str(tmp_path))
+        assert fresh.get(fp, key) == (9.0, 10.0)
+        # The LRU-evicted reload path must also resolve to the latest.
+        evicting = EvaluationCache(cache_dir=str(tmp_path), memory_limit=1)
+        other = unique_graphs(16, 1)[0]
+        evicting.put(fp, other.key(), (0.0, 0.0))  # evicts the loaded entry
+        assert evicting.get(fp, key) == (9.0, 10.0)
 
     def test_lru_eviction_bounds_memory(self, task):
         cache = EvaluationCache(memory_limit=3)
@@ -164,18 +233,31 @@ class TestSerialEquivalence:
             serial.best_cost_curve(), pooled.best_cost_curve()
         )
 
-    def test_run_comparison_curves_identical(self, task, tmp_path):
-        # The acceptance check: serial and engine-backed run_comparison on
-        # a 16-bit adder produce identical best_cost_curve arrays per seed.
+    def test_seed_grid_curves_identical(self, task, tmp_path):
+        # The acceptance check: a plain serial seed grid and an
+        # engine-backed Session run on a 16-bit adder produce identical
+        # best_cost_curve arrays per (method, seed).
+        from repro.utils.rng import seed_sequence
+
         factories = {
             "GA": lambda seed: GeneticAlgorithm(GAConfig(population_size=10)),
             "Random": lambda seed: RandomSearch(),
         }
-        serial = run_comparison(factories, task, budget=14, num_seeds=2)
+        seeds = seed_sequence(0, 2)
+        serial = {
+            name: run_serial_grid(factory, task, 14, seeds, name)
+            for name, factory in factories.items()
+        }
         with EvaluationEngine(cache_dir=str(tmp_path), workers=2) as engine:
-            engined = run_comparison(
-                factories, task, budget=14, num_seeds=2, engine=engine
-            )
+            engined = run_session_grid(
+                engine,
+                (
+                    MethodSpec("GA", params={"population_size": 10}),
+                    MethodSpec("Random"),
+                ),
+                budget=14,
+                seeds=seeds,
+            ).records
         for method in factories:
             for record_s, record_e in zip(serial[method], engined[method]):
                 assert record_s.seed == record_e.seed
@@ -249,30 +331,31 @@ class TestSerialEquivalence:
             unique_random_graphs(2, 3, np.random.default_rng(0))
 
     def test_parallel_seeds_identical_records(self, task):
-        factory = lambda seed: GeneticAlgorithm(GAConfig(population_size=8))
-        from repro.opt import run_method
-
+        method = MethodSpec("GA", params={"population_size": 8})
         with EvaluationEngine(workers=2) as engine:
-            serial_seeds = run_method(factory, task, 12, [0, 1, 2], engine=engine)
+            serial_seeds = run_session_grid(
+                engine, (method,), budget=12, seeds=[0, 1, 2]
+            ).records["GA"]
         with EvaluationEngine(workers=2) as engine:
-            threaded = run_method(
-                factory, task, 12, [0, 1, 2], engine=engine, parallel_seeds=3
-            )
+            threaded = run_session_grid(
+                engine, (method,), budget=12, seeds=[0, 1, 2], parallel_seeds=3
+            ).records["GA"]
         for record_s, record_t in zip(serial_seeds, threaded):
             np.testing.assert_array_equal(record_s.costs, record_t.costs)
 
 
 class TestPersistentReuse:
     def test_warm_disk_cache_performs_zero_synthesis(self, task, tmp_path):
-        factories = {
-            "GA": lambda seed: GeneticAlgorithm(GAConfig(population_size=10))
-        }
+        from repro.utils.rng import seed_sequence
+
+        method = MethodSpec("GA", params={"population_size": 10})
+        seeds = seed_sequence(0, 2)
         with EvaluationEngine(cache_dir=str(tmp_path), workers=1) as engine:
-            cold = run_comparison(factories, task, budget=12, num_seeds=2, engine=engine)
+            cold = run_session_grid(engine, (method,), 12, seeds).records
             assert engine.telemetry.synth_calls > 0
         # Fresh process-equivalent: new engine, same cache directory.
         with EvaluationEngine(cache_dir=str(tmp_path), workers=1) as engine:
-            warm = run_comparison(factories, task, budget=12, num_seeds=2, engine=engine)
+            warm = run_session_grid(engine, (method,), 12, seeds).records
             assert engine.telemetry.synth_calls == 0
             assert engine.telemetry.disk_hits > 0
         for record_c, record_w in zip(cold["GA"], warm["GA"]):
@@ -319,11 +402,10 @@ class TestFuturesAPI:
 
 class TestTelemetry:
     def test_counters_and_record_snapshot(self, task):
-        from repro.opt import run_method
-
-        factory = lambda seed: RandomSearch()
         with EvaluationEngine() as engine:
-            records = run_method(factory, task, 10, [0], engine=engine)
+            records = run_session_grid(
+                engine, (MethodSpec("Random"),), 10, [0]
+            ).records["Random"]
         telemetry = records[0].telemetry
         assert telemetry is not None
         assert telemetry["synth_calls"] == 10
@@ -332,10 +414,43 @@ class TestTelemetry:
         assert "proposal" in telemetry["stage_seconds"]
         assert 0.0 <= telemetry["hit_rate"] <= 1.0
 
-    def test_plain_simulator_records_no_telemetry(self, task):
-        from repro.opt import run_method
+    def test_vectorized_batches_are_attributed(self, task):
+        # A GA generation is a population batch: the engine must route it
+        # through the vectorized fast path and say so in telemetry.
+        with EvaluationEngine() as engine:
+            records = run_session_grid(
+                engine,
+                (MethodSpec("GA", params={"population_size": 10}),),
+                12,
+                [0],
+            ).records["GA"]
+        telemetry = records[0].telemetry
+        assert telemetry["vector_batches"] >= 1
+        assert telemetry["vector_designs"] >= 10
+        assert telemetry["vector_designs"] <= telemetry["synth_calls"]
+        assert telemetry["stage_seconds"].get("synthesis_vectorized", 0) > 0
+        # The split stages partition total synthesis wall-clock.
+        total = telemetry["stage_seconds"]["synthesis"]
+        split = telemetry["stage_seconds"].get(
+            "synthesis_vectorized", 0.0
+        ) + telemetry["stage_seconds"].get("synthesis_scalar", 0.0)
+        assert split <= total + 1e-6
 
-        records = run_method(lambda seed: RandomSearch(), task, 5, [0])
+    def test_vectorized_fast_path_can_be_disabled(self, task, monkeypatch):
+        monkeypatch.setenv("REPRO_VECTORIZED_EVAL", "0")
+        graphs = unique_graphs(16, 4)
+        with EvaluationEngine() as engine:
+            simulator = engine.simulator(task)
+            simulator.query_many(graphs)
+            assert simulator.telemetry.vector_batches == 0
+            assert (
+                simulator.telemetry.stage_seconds.get("synthesis_scalar", 0) > 0
+            )
+
+    def test_plain_simulator_records_no_telemetry(self, task):
+        records = run_serial_grid(
+            lambda seed: RandomSearch(), task, 5, [0], "Random"
+        )
         assert records[0].telemetry is None
 
     def test_merge_and_dict(self):
@@ -348,12 +463,12 @@ class TestTelemetry:
         assert a.as_dict()["stage_seconds"]["synthesis"] == pytest.approx(1.5)
 
     def test_records_io_roundtrip_with_telemetry(self, task, tmp_path):
-        from repro.opt import load_records, run_method, save_records
+        from repro.opt import load_records, save_records
 
         with EvaluationEngine() as engine:
-            records = run_method(
-                lambda seed: RandomSearch(), task, 5, [0], engine=engine
-            )
+            records = run_session_grid(
+                engine, (MethodSpec("Random"),), 5, [0]
+            ).records["Random"]
         path = str(tmp_path / "records.json")
         save_records(path, records)
         loaded = load_records(path)

@@ -1,8 +1,18 @@
-"""Cross-module integration tests: the full paper pipeline at tiny scale."""
+"""Cross-module integration tests: the full paper pipeline at tiny scale.
+
+The runner-pipeline tests describe their grids as declarative
+:class:`repro.api.ExperimentSpec` values and execute them through
+:class:`repro.api.Session` — the supported path since the deprecation of
+``run_method``/``run_comparison`` (whose shim behaviour is covered in
+``TestDeprecatedShims``).
+"""
+
+import warnings
 
 import numpy as np
 import pytest
 
+from repro.api import ExperimentSpec, MethodSpec, Session, TaskSpec
 from repro.baselines import GAConfig, GeneticAlgorithm, RandomSearch
 from repro.circuits import adder_task, gray_to_binary_task, realistic_adder_task
 from repro.core import CircuitVAEConfig, CircuitVAEOptimizer, SearchConfig, TrainConfig
@@ -15,6 +25,13 @@ from repro.opt import (
 )
 from repro.synth import CommercialTool, scaled_library
 
+#: The tiny CircuitVAE both the spec-driven and direct tests run.
+VAE_PARAMS = dict(
+    latent_dim=6, base_channels=4, hidden_dim=32, initial_samples=20,
+    first_round_epochs=8, train=dict(epochs=4, batch_size=16),
+    search=dict(num_parallel=8, num_steps=20, capture_every=10),
+)
+
 
 def vae_factory(_seed):
     return CircuitVAEOptimizer(
@@ -26,39 +43,56 @@ def vae_factory(_seed):
     )
 
 
+def run_spec(spec):
+    with Session() as session:
+        return session.run(spec)
+
+
 class TestRunnerPipeline:
-    def test_run_method_produces_records(self):
-        task = adder_task(8, 0.66)
-        records = run_method(vae_factory, task, budget=50, seeds=[0, 1])
+    def test_session_produces_records(self):
+        spec = ExperimentSpec(
+            name="vae-tiny",
+            task=TaskSpec(circuit_type="adder", n=8, delay_weight=0.66),
+            methods=(MethodSpec("CircuitVAE", params=VAE_PARAMS),),
+            budget=50,
+            seeds=(0, 1),
+        )
+        records = run_spec(spec).records["CircuitVAE"]
         assert len(records) == 2
         assert all(r.num_simulations == 50 for r in records)
         assert all(r.method == "CircuitVAE" for r in records)
         assert records[0].costs.tolist() != records[1].costs.tolist()
 
-    def test_run_comparison_pairs_seeds(self):
-        task = adder_task(8, 0.66)
-        results = run_comparison(
-            {
-                "GA": lambda s: GeneticAlgorithm(GAConfig(population_size=10)),
-                "Random": lambda s: RandomSearch(),
-            },
-            task,
+    def test_multi_method_spec_pairs_seeds(self):
+        spec = ExperimentSpec(
+            name="pairing",
+            task=TaskSpec(circuit_type="adder", n=8, delay_weight=0.66),
+            methods=(
+                MethodSpec("GA", params={"population_size": 10}),
+                MethodSpec("Random"),
+            ),
             budget=40,
             num_seeds=2,
         )
+        results = run_spec(spec).records
         assert set(results) == {"GA", "Random"}
         assert results["GA"][0].seed == results["Random"][0].seed
 
     def test_aggregate_and_speedup_pipeline(self):
-        task = adder_task(8, 0.66)
-        vae_records = run_method(vae_factory, task, budget=60, seeds=[0, 1])
-        ga_records = run_method(
-            lambda s: GeneticAlgorithm(GAConfig(population_size=10)),
-            task, budget=60, seeds=[0, 1],
+        spec = ExperimentSpec(
+            name="speedup",
+            task=TaskSpec(circuit_type="adder", n=8, delay_weight=0.66),
+            methods=(
+                MethodSpec("CircuitVAE", params=VAE_PARAMS),
+                MethodSpec("GA", params={"population_size": 10}),
+            ),
+            budget=60,
+            seeds=(0, 1),
         )
-        agg = aggregate_curves(vae_records, budgets=[20, 40, 60])
+        records = run_spec(spec).records
+        agg = aggregate_curves(records["CircuitVAE"], budgets=[20, 40, 60])
         assert np.all(np.diff(agg["median"]) <= 1e-12)  # monotone improvement
-        speedups = vae_speedup(vae_records, ga_records)
+        speedups = vae_speedup(records["CircuitVAE"], records["GA"])
         assert len(speedups) == 2
         assert all(s > 0 for s in speedups)
 
@@ -93,7 +127,70 @@ class TestRealisticPipeline:
 class TestSeedIndependence:
     def test_methods_share_simulator_semantics(self):
         """All methods must count simulations identically (unique designs)."""
-        task = adder_task(8, 0.66)
-        for factory in (lambda s: RandomSearch(), lambda s: GeneticAlgorithm(GAConfig(population_size=8))):
-            records = run_method(factory, task, budget=30, seeds=[3])
+        for method in (
+            MethodSpec("Random"),
+            MethodSpec("GA", params={"population_size": 8}),
+        ):
+            spec = ExperimentSpec(
+                name="seed-independence",
+                task=TaskSpec(circuit_type="adder", n=8, delay_weight=0.66),
+                methods=(method,),
+                budget=30,
+                seeds=(3,),
+            )
+            records = run_spec(spec).records[method.display_name]
             assert records[0].num_simulations == 30
+
+
+class TestDeprecatedShims:
+    """run_method/run_comparison must warn once and delegate unchanged."""
+
+    def test_run_method_warns_and_delegates(self):
+        task = adder_task(8, 0.66)
+        with pytest.warns(DeprecationWarning, match="run_method is deprecated"):
+            records = run_method(
+                lambda s: RandomSearch(), task, budget=8, seeds=[0]
+            )
+        assert len(records) == 1
+        assert records[0].num_simulations == 8
+
+    def test_run_comparison_warns_and_pairs_seeds(self):
+        task = adder_task(8, 0.66)
+        with pytest.warns(DeprecationWarning, match="run_comparison is deprecated"):
+            results = run_comparison(
+                {
+                    "GA": lambda s: GeneticAlgorithm(GAConfig(population_size=8)),
+                    "Random": lambda s: RandomSearch(),
+                },
+                task,
+                budget=8,
+                num_seeds=2,
+            )
+        assert [r.seed for r in results["GA"]] == [
+            r.seed for r in results["Random"]
+        ]
+        assert all(r.num_simulations == 8 for r in results["GA"])
+
+    def test_shim_records_match_session(self):
+        spec = ExperimentSpec(
+            name="shim-parity",
+            task=TaskSpec(circuit_type="adder", n=4, delay_weight=0.66),
+            methods=(MethodSpec("GA", params={"population_size": 8}),),
+            budget=6,
+            num_seeds=2,
+            curve_points=3,
+        )
+        session_records = run_spec(spec).records["GA"]
+        task = adder_task(4, 0.66)
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            shim_records = run_method(
+                lambda s: GeneticAlgorithm(GAConfig(population_size=8)),
+                task,
+                budget=6,
+                seeds=spec.seed_list(),
+                method_name="GA",
+            )
+        for record, reference in zip(session_records, shim_records):
+            assert record.seed == reference.seed
+            np.testing.assert_array_equal(record.costs, reference.costs)

@@ -1,8 +1,12 @@
 """Tests for structural metrics (repro.prefix.metrics)."""
 
+import numpy as np
 import pytest
 
 from repro.prefix import (
+    batch_depths,
+    batch_levels,
+    batch_node_counts,
     brent_kung,
     depth,
     fanout_histogram,
@@ -12,7 +16,9 @@ from repro.prefix import (
     node_count,
     ripple_carry,
     sklansky,
+    stacked_grids,
     structure_summary,
+    unique_random_graphs,
 )
 
 
@@ -55,3 +61,41 @@ def test_structure_summary_keys():
     assert s["depth"] == 7
     assert s["max_fanout"] == 1
     assert set(s) == {"n", "nodes", "depth", "max_fanout", "mean_fanout"}
+
+
+class TestBatchMetrics:
+    def graphs(self, n=12, count=8):
+        classics = [sklansky(n), brent_kung(n), kogge_stone(n), ripple_carry(n)]
+        return classics + list(
+            unique_random_graphs(n, count, np.random.default_rng(5))
+        )
+
+    def test_stacked_grids_shape_and_width_check(self):
+        graphs = self.graphs()
+        stack = stacked_grids(graphs)
+        assert stack.shape == (len(graphs), 12, 12)
+        with pytest.raises(ValueError):
+            stacked_grids([sklansky(8), sklansky(16)])
+        with pytest.raises(ValueError):
+            stacked_grids([])
+
+    def test_batch_levels_match_scalar_levels(self):
+        graphs = self.graphs()
+        levels = batch_levels(stacked_grids(graphs))
+        for b, graph in enumerate(graphs):
+            expected = graph.levels()
+            for i in range(graph.n):
+                for j in range(i + 1):
+                    assert levels[b, i, j] == expected.get((i, j), 0), (b, i, j)
+
+    def test_batch_depths_and_node_counts_match_scalar(self):
+        graphs = self.graphs()
+        stack = stacked_grids(graphs)
+        assert batch_depths(stack).tolist() == [g.depth() for g in graphs]
+        assert batch_node_counts(stack).tolist() == [
+            g.node_count() for g in graphs
+        ]
+
+    def test_batch_levels_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            batch_levels(np.ones((4, 4), dtype=bool))

@@ -1,0 +1,160 @@
+"""Bit-identity tests for the vectorized batched synthesis fast path.
+
+The contract of :mod:`repro.synth.batched` is exact equality with the
+scalar per-graph flow on **every** ``PhysicalResult`` field — not
+approximate equality.  The engine's caching and the paper's budget
+accounting both rely on the two paths being interchangeable.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from helpers import unique_random_graphs as unique_graphs
+
+from repro.circuits import (
+    adder_task,
+    gray_to_binary_task,
+    lzd_task,
+    realistic_adder_task,
+)
+from repro.engine import EvaluationEngine, SynthesisPool
+from repro.prefix import sklansky
+from repro.synth import SynthesisOptions, scaled_library, synthesize_many
+
+
+def assert_results_identical(task, graphs):
+    scalar = [task.synthesize(graph) for graph in graphs]
+    batched = task.evaluate_many(graphs)
+    assert len(scalar) == len(batched)
+    for i, (a, b) in enumerate(zip(scalar, batched)):
+        assert a.area_um2 == b.area_um2, i
+        assert a.delay_ns == b.delay_ns, i
+        assert a.num_gates == b.num_gates, i
+        assert a.num_buffers == b.num_buffers, i
+        assert a.wirelength_um == b.wirelength_um, i
+        assert a.cell_counts == b.cell_counts, i
+        assert a.critical_output == b.critical_output, i
+
+
+class TestBitIdentity:
+    # n=4 has only 7 unique legal designs, so its population is smaller.
+    @pytest.mark.parametrize("n,count", [(4, 6), (8, 8), (12, 8)])
+    def test_adder_population(self, n, count):
+        assert_results_identical(adder_task(n, 0.66), unique_graphs(n, count))
+
+    def test_gray_population(self):
+        assert_results_identical(gray_to_binary_task(n=8), unique_graphs(8, 8))
+
+    def test_lzd_population(self):
+        assert_results_identical(lzd_task(n=8), unique_graphs(8, 8))
+
+    def test_scaled_library(self):
+        task = adder_task(8, 0.5, library=scaled_library("8nm"))
+        assert_results_identical(task, unique_graphs(8, 6))
+
+    def test_datapath_io_timing(self):
+        # Per-bit arrivals/margins change the critical endpoint choice.
+        assert_results_identical(realistic_adder_task(8, 0.6), unique_graphs(8, 6))
+
+    def test_andor_mapping_style(self):
+        task = replace(
+            adder_task(8, 0.66), options=SynthesisOptions(mapping_style="andor")
+        )
+        assert_results_identical(task, unique_graphs(8, 6))
+
+    @pytest.mark.parametrize("max_fanout", [2, 3])
+    def test_flow_options_fanout(self, max_fanout):
+        task = replace(
+            adder_task(8, 0.66), options=SynthesisOptions(max_fanout=max_fanout)
+        )
+        assert_results_identical(task, unique_graphs(8, 6))
+
+    @pytest.mark.parametrize("passes", [0, 1, 2])
+    def test_flow_options_sizing_passes(self, passes):
+        task = replace(
+            adder_task(8, 0.66), options=SynthesisOptions(sizing_passes=passes)
+        )
+        assert_results_identical(task, unique_graphs(8, 6))
+
+    def test_no_area_recovery(self):
+        task = replace(
+            adder_task(8, 0.66), options=SynthesisOptions(area_recovery=False)
+        )
+        assert_results_identical(task, unique_graphs(8, 6))
+
+    def test_dense_graphs_with_multi_level_buffering(self):
+        # Dense 24-bit graphs push fanouts past max_fanout^2 so buffer
+        # trees get more than one level, the trickiest ordering case.
+        from repro.prefix import unique_random_graphs
+
+        graphs = unique_random_graphs(
+            24, 4, np.random.default_rng(11), density_low=0.7, density_high=0.95
+        )
+        assert_results_identical(adder_task(24, 0.66), graphs)
+
+    def test_single_graph_and_duplicate_free_structures(self):
+        task = adder_task(8, 0.66)
+        assert_results_identical(task, [sklansky(8)])
+
+    def test_empty_batch(self):
+        assert adder_task(8, 0.66).evaluate_many([]) == []
+
+
+class TestTaskValidation:
+    def test_width_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="width"):
+            adder_task(8, 0.66).evaluate_many([sklansky(16)])
+
+    def test_unknown_circuit_type_rejected(self):
+        task = adder_task(8, 0.66)
+        with pytest.raises(ValueError, match="circuit type"):
+            synthesize_many(unique_graphs(8, 2), task.library, "mystery")
+
+
+class TestEngineRouting:
+    @staticmethod
+    def scalar_metrics(task, graphs):
+        results = [task.synthesize(g) for g in graphs]
+        return [(r.area_um2, r.delay_ns) for r in results]
+
+    def test_pool_vectorized_matches_scalar(self):
+        task = adder_task(16, 0.66)
+        graphs = unique_graphs(16, 6)
+        pool = SynthesisPool(workers=1)
+        assert pool.execution_mode(len(graphs)) == "vectorized"
+        assert pool.synthesize_batch(task, graphs) == self.scalar_metrics(task, graphs)
+
+    def test_pool_chunked_across_workers_matches_scalar(self):
+        task = adder_task(16, 0.66)
+        graphs = unique_graphs(16, 8)
+        with SynthesisPool(workers=2) as pool:
+            assert pool.synthesize_batch(task, graphs) == self.scalar_metrics(
+                task, graphs
+            )
+
+    def test_single_design_stays_scalar(self):
+        pool = SynthesisPool(workers=1)
+        assert pool.execution_mode(1) == "serial"
+
+    def test_env_kill_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VECTORIZED_EVAL", "0")
+        pool = SynthesisPool(workers=1)
+        assert pool.execution_mode(64) == "serial"
+
+    def test_engine_population_query_bit_identical(self):
+        # End to end: EngineSimulator batches (vectorized) vs the plain
+        # serial simulator must agree on every evaluation field.
+        from repro.opt import CircuitSimulator
+
+        task = adder_task(16, 0.66)
+        graphs = unique_graphs(16, 10)
+        serial = CircuitSimulator(task, budget=None).query_many(graphs)
+        with EvaluationEngine() as engine:
+            batched = engine.simulator(task).query_many(graphs)
+        for a, b in zip(serial, batched):
+            assert a.cost == b.cost
+            assert a.area_um2 == b.area_um2
+            assert a.delay_ns == b.delay_ns
+            assert a.sim_index == b.sim_index
