@@ -23,10 +23,21 @@ submit the same serializable description and get identical records back:
     (persistent cache, worker pool, telemetry) so callers never pass raw
     ``engine=`` handles; :meth:`Session.run` executes a spec and returns
     an :class:`ExperimentResult` (records + aggregated curves +
-    telemetry snapshot).
+    telemetry snapshot).  :meth:`Session.submit` is the streaming form:
+    it returns a :class:`RunHandle` whose :meth:`~RunHandle.events`
+    stream typed :mod:`~repro.api.events` at simulator query boundaries
+    and which can be interrupted losslessly;
+    :meth:`Session.resume` continues an interrupted run directory
+    bit-identically.
+``handle`` / ``events`` / ``rundir``
+    The job system under the session: :class:`RunHandle` (background
+    execution, event stream, interrupt), the typed event dataclasses,
+    and :class:`RunDirectory` (durable spec + incremental per-seed
+    evaluation history + completion ledger + final records).
 ``cli``
-    ``python -m repro run spec.json`` / ``methods`` / ``bench <name>``
-    with ``--workers/--cache-dir/--out`` flags.
+    ``python -m repro run spec.json`` / ``methods`` / ``bench <name>`` /
+    ``status <run_dir>`` with ``--workers/--cache-dir/--out/--out-dir/
+    --resume/--progress`` flags.
 
 Guarantees
 ----------
@@ -50,6 +61,16 @@ Quickstart
 ...     result.best_costs()
 """
 
+from .events import (
+    Checkpointed,
+    EvaluationDone,
+    ExperimentFinished,
+    ExperimentStarted,
+    RunEvent,
+    SeedFinished,
+    SeedStarted,
+)
+from .handle import RunHandle
 from .registry import (
     MethodEntry,
     available_methods,
@@ -59,6 +80,7 @@ from .registry import (
     register_method,
     validate_params,
 )
+from .rundir import RunDirectory
 from .session import ExperimentResult, Session
 from .spec import (
     EngineSpec,
@@ -85,4 +107,13 @@ __all__ = [
     "build_algorithm",
     "Session",
     "ExperimentResult",
+    "RunHandle",
+    "RunDirectory",
+    "RunEvent",
+    "ExperimentStarted",
+    "SeedStarted",
+    "EvaluationDone",
+    "Checkpointed",
+    "SeedFinished",
+    "ExperimentFinished",
 ]

@@ -1,10 +1,18 @@
 """``python -m repro`` — the command-line frontend over specs + sessions.
 
-Three subcommands:
+Four subcommands:
 
-``run <spec.json>``
+``run <spec.json>`` / ``run --resume <run_dir>``
     Load, validate and execute a declarative experiment spec; print the
     per-method summary table and optionally persist the run records.
+    ``--out-dir`` makes the run durable (a resumable run directory with
+    per-seed evaluation history checkpointed after every simulation);
+    Ctrl-C then stops it losslessly and ``--resume <run_dir>`` continues
+    it bit-identically.  ``--progress`` streams per-seed best-cost lines
+    while the run executes (quiet by default so CI logs stay clean).
+``status <run_dir>``
+    Inspect a run directory without touching it: overall lifecycle
+    state plus a per-(method, seed) table of done/partial/pending cells.
 ``methods``
     List every registered method with its config fields and defaults
     (the vocabulary a spec's ``params`` may use).
@@ -25,10 +33,18 @@ import argparse
 import dataclasses
 import json
 import sys
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..utils.tables import format_median_iqr, format_table
 from . import registry
+from .events import (
+    EvaluationDone,
+    ExperimentStarted,
+    RunEvent,
+    SeedFinished,
+    SeedStarted,
+)
+from .rundir import RunDirectory
 from .session import Session
 from .spec import EngineSpec, ExperimentSpec, MethodSpec, TaskSpec, load_spec
 
@@ -110,6 +126,66 @@ def bench_presets() -> Dict[str, ExperimentSpec]:
 # ----------------------------------------------------------------------
 # Output helpers
 # ----------------------------------------------------------------------
+class _ProgressPrinter:
+    """Folds the event stream into per-seed best-cost lines.
+
+    Prints a line when a seed starts/finishes and whenever its running
+    best improves — enough to watch a long run converge without echoing
+    every checkpoint.
+    """
+
+    def __init__(self) -> None:
+        self._best: Dict[Tuple[str, int], float] = {}
+
+    def __call__(self, event: RunEvent) -> None:
+        if isinstance(event, ExperimentStarted):
+            where = f" -> {event.run_dir}" if event.run_dir else ""
+            verb = "resuming" if event.resumed else "running"
+            print(f"{verb} {event.run_id}{where}")
+        elif isinstance(event, SeedStarted):
+            note = f" (replaying {event.replayed} recorded evals)" if event.replayed else ""
+            print(f"[{event.method} seed {event.seed}] started{note}")
+        elif isinstance(event, EvaluationDone):
+            key = (event.method, event.seed)
+            if event.best_cost < self._best.get(key, float("inf")):
+                self._best[key] = event.best_cost
+                print(
+                    f"[{event.method} seed {event.seed}] "
+                    f"sim {event.sim_index}: best {event.best_cost:.4f}"
+                )
+        elif isinstance(event, SeedFinished):
+            record = event.record
+            source = "ledger" if event.resumed else f"{record.num_simulations} sims"
+            best = record.best_cost() if record.num_simulations else float("nan")
+            print(
+                f"[{event.method} seed {event.seed}] finished "
+                f"({source}), best {best:.4f}"
+            )
+
+
+def _print_status(run_dir: RunDirectory) -> None:
+    spec = run_dir.spec()
+    task = spec.task
+    print(
+        f"run {run_dir.run_id}: {run_dir.status}  ({run_dir.path})\n"
+        f"spec {spec.name}: {task.circuit_type}{task.n} @ w{task.delay_weight} "
+        f"({task.library}), budget {spec.budget}, seeds {spec.seed_list()}"
+    )
+    rows = []
+    for cell in run_dir.progress():
+        best = "-" if cell["best_cost"] is None else f"{cell['best_cost']:.4f}"
+        rows.append(
+            [
+                cell["method"],
+                str(cell["seed"]),
+                cell["state"],
+                f"{cell['evaluations']}/{spec.budget}",
+                best,
+            ]
+        )
+    print(format_table(["method", "seed", "state", "evals", "best cost"], rows))
+
+
 def _print_result(result, out: Optional[str]) -> None:
     from ..opt.results import median_iqr
 
@@ -132,6 +208,8 @@ def _print_result(result, out: Optional[str]) -> None:
             f"{t.get('memory_hits', 0)} memory hits, "
             f"{t.get('disk_hits', 0)} disk hits"
         )
+    if result.run_dir:
+        print(f"run directory: {result.run_dir}")
     if out:
         result.save(out)
         print(f"records written to {out}")
@@ -185,6 +263,15 @@ def _add_execution_flags(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--out", default=None, help="write run records to this path"
     )
+    parser.add_argument(
+        "--out-dir", default=None,
+        help="create a durable, resumable run directory at this path "
+        "(per-seed history checkpointed after every simulation)",
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="stream per-seed best-cost lines while the run executes",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -194,9 +281,22 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    run_p = sub.add_parser("run", help="execute an experiment spec (JSON file)")
-    run_p.add_argument("spec", help="path to an ExperimentSpec JSON file")
+    run_p = sub.add_parser(
+        "run", help="execute an experiment spec (JSON file) or resume a run dir"
+    )
+    run_p.add_argument(
+        "spec", nargs="?", default=None,
+        help="path to an ExperimentSpec JSON file (omit with --resume)",
+    )
+    run_p.add_argument(
+        "--resume", default=None, metavar="RUN_DIR",
+        help="continue an interrupted run directory (the spec, finished "
+        "cells and recorded evaluations all come from the directory)",
+    )
     _add_execution_flags(run_p)
+
+    status_p = sub.add_parser("status", help="inspect a run directory")
+    status_p.add_argument("run_dir", help="path to a run directory")
 
     methods_p = sub.add_parser("methods", help="list registered methods")
     methods_p.add_argument("--json", action="store_true", help="machine-readable")
@@ -227,10 +327,58 @@ def _effective_engine(spec: ExperimentSpec, args: argparse.Namespace) -> EngineS
     )
 
 
-def _execute(spec: ExperimentSpec, engine: EngineSpec, out: Optional[str]) -> None:
+def _execute(
+    spec: ExperimentSpec,
+    engine: EngineSpec,
+    out: Optional[str],
+    out_dir: Optional[str] = None,
+    resume: Optional[RunDirectory] = None,
+    progress: bool = False,
+) -> int:
+    """Run (or resume) one experiment and print the outcome.
+
+    Ctrl-C is first-class: the run is asked to stop at its next query
+    boundary, allowed to settle (so the run directory stays consistent),
+    and the resume command is printed.  Returns a shell exit code.
+    """
+    printer = _ProgressPrinter() if progress else None
     with Session.from_spec(engine) as session:
-        result = session.run(spec)
+        try:
+            handle = (
+                session.resume(resume) if resume is not None
+                else session.submit(spec, out_dir=out_dir)
+            )
+        except ValueError as error:
+            # e.g. --out-dir pointing at a directory that already holds
+            # a run: validation, so it gets the friendly one-liner.
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        try:
+            for event in handle.events():
+                if printer is not None:
+                    printer(event)
+        except KeyboardInterrupt:
+            handle.interrupt()
+            handle.wait()
+            # The run may have settled (finished or failed) before the
+            # interrupt landed; only a genuinely interrupted run gets
+            # the resume hint — otherwise report the real outcome below.
+            if handle.status == "interrupted":
+                if handle.run_dir_path:
+                    print(
+                        f"\ninterrupted — continue with:\n"
+                        f"  python -m repro run --resume {handle.run_dir_path}",
+                        file=sys.stderr,
+                    )
+                else:
+                    print(
+                        "\ninterrupted (no run directory; nothing kept)",
+                        file=sys.stderr,
+                    )
+                return 130
+        result = handle.result()
     _print_result(result, out)
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -239,11 +387,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         _print_methods(args.json)
         return 0
 
-    # Only spec loading/validation gets the friendly one-line treatment;
-    # failures *during* execution are real bugs and keep their traceback.
+    # Only spec/run-dir loading and validation get the friendly one-line
+    # treatment; failures *during* execution are real bugs and keep
+    # their traceback.
+    resume = getattr(args, "resume", None)
     try:
+        if args.command == "status":
+            _print_status(RunDirectory.open(args.run_dir))
+            return 0
         if args.command == "run":
-            spec = load_spec(args.spec)
+            if resume is not None:
+                if args.spec is not None:
+                    raise ValueError(
+                        "--resume takes its spec from the run directory; "
+                        "drop the spec argument"
+                    )
+                if args.out_dir is not None:
+                    raise ValueError(
+                        "--resume continues its own run directory; "
+                        "--out-dir cannot redirect it"
+                    )
+                # opened once; _execute resumes this same instance
+                resume = RunDirectory.open(resume)
+                spec = resume.spec()
+            elif args.spec is None:
+                raise ValueError("run needs a spec file (or --resume <run_dir>)")
+            else:
+                spec = load_spec(args.spec)
         else:  # bench
             presets = bench_presets()
             if args.list or args.name is None:
@@ -268,5 +438,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         return 2
 
-    _execute(spec, engine, args.out)
-    return 0
+    return _execute(
+        spec,
+        engine,
+        args.out,
+        out_dir=args.out_dir,
+        resume=resume,
+        progress=args.progress,
+    )

@@ -1,0 +1,397 @@
+"""Durable run directories: the on-disk form of a submitted experiment.
+
+A run directory makes a long (method x seed) grid crash-safe and
+resumable.  Layout::
+
+    <run_dir>/
+        spec.json                     the ExperimentSpec (atomic)
+        run.json                      {format, run_id, status} (atomic)
+        records.json                  final combined records (atomic)
+        cells/<method>--seed<N>/
+            meta.json                 {method, seed} (human-readable)
+            history.jsonl             evaluation trail, appended + flushed
+                                      after every simulator query
+            history.resume.jsonl      a previous attempt's trail, kept
+                                      until the cell finishes
+            record.json               final RunRecord = completion ledger
+
+Design notes
+------------
+* **Everything single-shot is atomic** (temp + rename via
+  :mod:`repro.utils.io`); the only incrementally-written files are the
+  history JSONLs, whose readers tolerate a truncated final line.
+* **The history is the whole checkpoint.**  No rng or optimizer state is
+  serialized: every registered method is deterministic given (seed,
+  evaluation history), so resume re-runs the algorithm from its seed
+  while the recorded evaluations are served from a warm cache —
+  bit-identical, with zero new synthesis for anything already recorded.
+  The budget state is likewise implied: evaluations recorded = budget
+  consumed.
+* **record.json is the completion ledger.**  Its presence marks a cell
+  finished; resume serves such cells straight from disk.  An interrupted
+  cell has history lines but no record, and is the only kind of cell a
+  resume actually re-runs.
+* **Resume rotation.**  When a cell restarts, its partial
+  ``history.jsonl`` is folded into ``history.resume.jsonl`` and the main
+  file starts fresh; the replay rewrites it identically.  If the resume
+  itself dies mid-replay, both files survive and the next attempt primes
+  from their union (deduplicated by ``sim_index``), so repeated crashes
+  never lose recorded synthesis work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import uuid
+from typing import Dict, List, Optional
+
+def _pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for an advisory lock owner."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        pass  # exists but owned elsewhere — treat as alive
+    return True
+
+from ..opt.records_io import (
+    append_evaluations,
+    evaluation_to_dict,
+    load_evaluations,
+    load_records,
+    save_records,
+)
+from ..opt.results import RunRecord
+from ..opt.simulator import Evaluation
+from ..utils.io import atomic_write_json, atomic_write_text
+from .spec import ExperimentSpec
+
+__all__ = ["RunDirectory", "RunCellWriter"]
+
+_RUN_FORMAT = 1
+
+#: run.json status values, in lifecycle order.
+STATUSES = ("created", "running", "finished", "interrupted", "failed")
+
+
+def _cell_slug(method: str) -> str:
+    """Filesystem-safe cell directory stem for a method display name.
+
+    Sanitized names get a short content hash appended so two labels that
+    sanitize identically ("GA 1" / "GA_1") can never share a directory.
+    """
+    safe = "".join(c if c.isalnum() or c in "-_." else "_" for c in method)
+    if safe != method or not safe:
+        digest = hashlib.sha1(method.encode("utf-8")).hexdigest()[:8]
+        safe = f"{safe or 'method'}-{digest}"
+    return safe
+
+
+class RunDirectory:
+    """One experiment's durable home; see the module docstring for layout."""
+
+    SPEC_FILE = "spec.json"
+    RUN_FILE = "run.json"
+    RECORDS_FILE = "records.json"
+    CELLS_DIR = "cells"
+
+    def __init__(self, path: str) -> None:
+        self.path = os.path.abspath(path)
+        self._spec: Optional[ExperimentSpec] = None
+
+    # ------------------------------------------------------------------
+    # Creation / opening
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls, path: str, spec: ExperimentSpec, run_id: Optional[str] = None
+    ) -> "RunDirectory":
+        """Initialize a fresh run directory for ``spec``.
+
+        Refuses a directory that already holds a run (resume it
+        instead).  ``run.json`` is written last, so a half-created
+        directory (crash between the writes) is simply re-created.
+        """
+        run_dir = cls(path)
+        if os.path.exists(run_dir._run_path()):
+            raise ValueError(
+                f"{run_dir.path} already holds a run; resume it with "
+                "Session.resume / --resume instead of starting over"
+            )
+        os.makedirs(os.path.join(run_dir.path, cls.CELLS_DIR), exist_ok=True)
+        atomic_write_text(run_dir._spec_path(), spec.to_json() + "\n")
+        atomic_write_json(
+            run_dir._run_path(),
+            {
+                "format": _RUN_FORMAT,
+                "run_id": run_id if run_id is not None else f"run-{uuid.uuid4().hex[:12]}",
+                "status": "created",
+            },
+            indent=2,
+        )
+        run_dir._spec = spec
+        return run_dir
+
+    @classmethod
+    def open(cls, path: str) -> "RunDirectory":
+        """Attach to an existing run directory, validating its metadata."""
+        run_dir = cls(path)
+        if not os.path.exists(run_dir._run_path()):
+            raise ValueError(f"{run_dir.path} is not a run directory (no run.json)")
+        meta = run_dir._run_meta()
+        if meta.get("format") != _RUN_FORMAT:
+            raise ValueError(
+                f"unsupported run-directory format {meta.get('format')!r} "
+                f"in {run_dir.path}"
+            )
+        run_dir.spec()  # validates spec.json eagerly
+        return run_dir
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+    def _spec_path(self) -> str:
+        return os.path.join(self.path, self.SPEC_FILE)
+
+    def _run_path(self) -> str:
+        return os.path.join(self.path, self.RUN_FILE)
+
+    def records_path(self) -> str:
+        return os.path.join(self.path, self.RECORDS_FILE)
+
+    def _lock_path(self) -> str:
+        return os.path.join(self.path, "lock.json")
+
+    def acquire_lock(self) -> None:
+        """Advisory single-writer guard for the execution lifetime.
+
+        Two live processes appending to the same cell trails would
+        silently lose each other's evaluations, so submit/resume refuse
+        a directory whose lock names a still-running process.  A stale
+        lock (dead pid — e.g. the SIGKILLed run a resume is exactly
+        for — or an unreadable file) is stolen.  Advisory only: a
+        pathological simultaneous acquire can still race, but the
+        realistic double-resume mistake is caught.
+        """
+        path = self._lock_path()
+        if os.path.exists(path):
+            pid = None
+            try:
+                with open(path) as handle:
+                    pid = int(json.load(handle).get("pid"))
+            except (ValueError, TypeError, OSError):
+                pass  # unreadable lock = stale
+            if pid is not None and _pid_alive(pid):
+                raise ValueError(
+                    f"{self.path} is already being executed by live process "
+                    f"{pid}; interrupt it (or wait) before resuming here"
+                )
+        atomic_write_json(path, {"pid": os.getpid()}, indent=2)
+
+    def release_lock(self) -> None:
+        try:
+            os.unlink(self._lock_path())
+        except OSError:
+            pass
+
+    def _run_meta(self) -> Dict:
+        with open(self._run_path()) as handle:
+            return json.load(handle)
+
+    def spec(self) -> ExperimentSpec:
+        """The stored experiment spec (parsed once, strict validation)."""
+        if self._spec is None:
+            with open(self._spec_path()) as handle:
+                self._spec = ExperimentSpec.from_json(handle.read())
+        return self._spec
+
+    @property
+    def run_id(self) -> str:
+        return str(self._run_meta()["run_id"])
+
+    @property
+    def status(self) -> str:
+        return str(self._run_meta()["status"])
+
+    def set_status(self, status: str) -> None:
+        """Advance run.json's lifecycle status (atomic rewrite)."""
+        if status not in STATUSES:
+            raise ValueError(f"unknown run status {status!r}; choose from {STATUSES}")
+        meta = self._run_meta()
+        meta["status"] = status
+        atomic_write_json(self._run_path(), meta, indent=2)
+
+    # ------------------------------------------------------------------
+    # Cells
+    # ------------------------------------------------------------------
+    def cell_dir(self, method: str, seed: int) -> str:
+        return os.path.join(
+            self.path, self.CELLS_DIR, f"{_cell_slug(method)}--seed{seed}"
+        )
+
+    def _history_path(self, method: str, seed: int) -> str:
+        return os.path.join(self.cell_dir(method, seed), "history.jsonl")
+
+    def _resume_history_path(self, method: str, seed: int) -> str:
+        return os.path.join(self.cell_dir(method, seed), "history.resume.jsonl")
+
+    def _record_path(self, method: str, seed: int) -> str:
+        return os.path.join(self.cell_dir(method, seed), "record.json")
+
+    def completed_record(self, method: str, seed: int) -> Optional[RunRecord]:
+        """The cell's ledger entry: its final record, or None if unfinished."""
+        path = self._record_path(method, seed)
+        if not os.path.exists(path):
+            return None
+        records = load_records(path)
+        if len(records) != 1:
+            raise ValueError(f"{path} should hold exactly one record")
+        return records[0]
+
+    def load_history(self, method: str, seed: int) -> List[Evaluation]:
+        """Every recorded evaluation for a cell, across crash generations.
+
+        Merges the current trail with a rotated previous-attempt trail,
+        deduplicated by ``sim_index`` (both are prefixes of the same
+        deterministic sequence), ordered by ``sim_index``.
+        """
+        merged: Dict[int, Evaluation] = {}
+        for path in (
+            self._resume_history_path(method, seed),
+            self._history_path(method, seed),
+        ):
+            if os.path.exists(path):
+                for evaluation in load_evaluations(path):
+                    merged[evaluation.sim_index] = evaluation
+        return [merged[index] for index in sorted(merged)]
+
+    def cell_writer(
+        self,
+        method: str,
+        seed: int,
+        history: Optional[List[Evaluation]] = None,
+    ) -> "RunCellWriter":
+        """Open a cell for (re)execution; rotates any partial history.
+
+        ``history`` lets a caller that already loaded the cell's merged
+        trail (resume priming does) hand it over instead of having the
+        rotation re-parse the same files.
+        """
+        return RunCellWriter(self, method, seed, history=history)
+
+    # ------------------------------------------------------------------
+    # Final records
+    # ------------------------------------------------------------------
+    def write_final_records(self, records: List[RunRecord]) -> str:
+        path = self.records_path()
+        save_records(path, records)
+        return path
+
+    def load_final_records(self) -> List[RunRecord]:
+        return load_records(self.records_path())
+
+    # ------------------------------------------------------------------
+    # Introspection (the CLI `status` subcommand)
+    # ------------------------------------------------------------------
+    def progress(self) -> List[Dict]:
+        """Per-cell state, in spec order.
+
+        Each entry: ``{"method", "seed", "state", "evaluations",
+        "best_cost"}`` with state ``done`` (ledgered), ``partial``
+        (history but no record — what resume re-runs) or ``pending``.
+        """
+        spec = self.spec()
+        rows: List[Dict] = []
+        for method_spec in spec.methods:
+            method = method_spec.display_name
+            for seed in spec.seed_list():
+                record = self.completed_record(method, seed)
+                if record is not None:
+                    state, count = "done", record.num_simulations
+                    best = record.best_cost() if count else None
+                else:
+                    history = self.load_history(method, seed)
+                    count = len(history)
+                    best = min((e.cost for e in history), default=None)
+                    state = "partial" if count else "pending"
+                rows.append(
+                    {
+                        "method": method,
+                        "seed": seed,
+                        "state": state,
+                        "evaluations": count,
+                        "best_cost": best,
+                    }
+                )
+        return rows
+
+    def __repr__(self) -> str:
+        return f"RunDirectory({self.path!r})"
+
+
+class RunCellWriter:
+    """Incremental persistence for one (method, seed) cell.
+
+    Created when the cell starts (or restarts) running.  Rotation,
+    appending and the final ledger write all live here so the execution
+    layer only ever says "this evaluation happened" / "this cell is
+    done".
+    """
+
+    def __init__(
+        self,
+        run_dir: RunDirectory,
+        method: str,
+        seed: int,
+        history: Optional[List[Evaluation]] = None,
+    ) -> None:
+        self.run_dir = run_dir
+        self.method = method
+        self.seed = seed
+        self.history_path = run_dir._history_path(method, seed)
+        self._resume_path = run_dir._resume_history_path(method, seed)
+        self.evaluations = 0
+        cell = run_dir.cell_dir(method, seed)
+        os.makedirs(cell, exist_ok=True)
+        meta_path = os.path.join(cell, "meta.json")
+        if not os.path.exists(meta_path):
+            atomic_write_json(meta_path, {"method": method, "seed": seed}, indent=2)
+        self._rotate_partial_history(history)
+
+    def _rotate_partial_history(
+        self, history: Optional[List[Evaluation]] = None
+    ) -> None:
+        """Fold a previous attempt's trail aside before replay rewrites it.
+
+        The union of both files (the durable superset of recorded work)
+        is written atomically to the resume trail, then the main trail
+        starts empty.  Replay regenerates it line-for-line; the resume
+        trail is deleted only once the cell's record is ledgered.
+        ``history`` is that union when the caller already loaded it.
+        """
+        if not os.path.exists(self.history_path):
+            return
+        combined = (
+            history
+            if history is not None
+            else self.run_dir.load_history(self.method, self.seed)
+        )
+        lines = "".join(
+            json.dumps(evaluation_to_dict(e)) + "\n" for e in combined
+        )
+        atomic_write_text(self._resume_path, lines)
+        os.unlink(self.history_path)
+
+    def append(self, evaluation: Evaluation) -> int:
+        """Durably record one evaluation; returns the cell's line count."""
+        self.evaluations += append_evaluations(self.history_path, [evaluation])
+        return self.evaluations
+
+    def finish(self, record: RunRecord) -> None:
+        """Ledger the cell as complete and drop the resume trail."""
+        save_records(self.run_dir._record_path(self.method, self.seed), [record])
+        if os.path.exists(self._resume_path):
+            os.unlink(self._resume_path)

@@ -1,4 +1,4 @@
-"""Sessions: engine ownership + spec execution in one object.
+"""Sessions: engine ownership + job-style spec execution in one object.
 
 A :class:`Session` is the runtime counterpart of a declarative
 :class:`~repro.api.spec.ExperimentSpec`: it owns one
@@ -8,23 +8,37 @@ never thread raw ``engine=`` handles through their code.  Any number of
 experiments can run on one session and share cache entries; closing the
 session (or using it as a context manager) shuts the worker pool down.
 
-:meth:`Session.run` resolves each method spec through the registry,
-executes the (method x seed) grid with per-seed budget accounting that is
-bit-identical to serial execution (see :mod:`repro.engine`), and returns
-an :class:`ExperimentResult` bundling the raw records, the aggregated
-cost-vs-budget curves and an engine telemetry snapshot.
+Execution has job lifecycle semantics:
+
+* :meth:`Session.submit` resolves every method through the registry
+  (fail-fast, before any synthesis), optionally creates a durable run
+  directory (:mod:`repro.api.rundir`), and returns a
+  :class:`~repro.api.handle.RunHandle` streaming typed events
+  (:mod:`repro.api.events`) while the grid executes in the background.
+* :meth:`Session.resume` reopens an interrupted run directory and
+  continues only its unfinished (method, seed) cells — finished cells
+  are served from the completion ledger, partial cells replay their
+  recorded evaluation history through the engine's warm cache (zero new
+  synthesis for recorded work) and run on, bit-identically.
+* :meth:`Session.run` stays the simple blocking form: a thin wrapper
+  that submits and drains the event stream.
+
+Records are bit-identical to serial execution in every mode (see
+:mod:`repro.engine`); interruption and resume never change
+paper-semantics accounting, only where the wall-clock work happens.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Union
 
 from ..engine.service import EvaluationEngine
 from ..opt.records_io import save_records
 from ..opt.results import RunRecord, aggregate_curves, median_iqr
-from ..opt.runner import _run_seed_grid
+from .events import RunEvent
 from .registry import build_config, get_method
+from .rundir import RunDirectory
 from .spec import EngineSpec, ExperimentSpec
 
 __all__ = ["Session", "ExperimentResult"]
@@ -69,6 +83,9 @@ class ExperimentResult:
     #: every run's per-record snapshot, so reused sessions don't
     #: misattribute earlier runs' work).
     telemetry: Optional[Dict] = None
+    #: the durable run directory this result was produced in (None for
+    #: in-memory runs).
+    run_dir: Optional[str] = None
 
     def budgets(self) -> List[int]:
         """The curve ladder of the spec (``budget_ladder``)."""
@@ -155,42 +172,131 @@ class Session:
         )
 
     # ------------------------------------------------------------------
-    def run(self, spec: ExperimentSpec) -> ExperimentResult:
-        """Execute one experiment spec on this session's engine.
-
-        Records are bit-identical to a direct serial run of the same
-        (config, task, budget, seed) grid — the engine changes wall-clock
-        only, never paper-semantics accounting.
-        """
+    @staticmethod
+    def _resolve(spec: ExperimentSpec):
+        """(task, seeds, resolved methods) — every registry/config error
+        surfaces here, before any synthesis runs."""
         task = spec.task.to_task()
         seeds = spec.seed_list()
-        # Resolve every method before running any: a bad config in the
-        # last method must not waste the earlier methods' synthesis.
         resolved = [
             (m, get_method(m.method), build_config(m.method, m.params, n=task.n))
             for m in spec.methods
         ]
-        records: Dict[str, List[RunRecord]] = {}
-        for method_spec, entry, config in resolved:
-            records[method_spec.display_name] = _run_seed_grid(
-                lambda seed, _factory=entry.factory, _config=config: _factory(_config),
-                task,
-                spec.budget,
-                seeds,
-                method_name=method_spec.display_name,
-                engine=self.engine,
-                parallel_seeds=self.parallel_seeds,
-            )
-        return ExperimentResult(
-            spec=spec,
-            records=records,
-            telemetry=_sum_telemetry([
-                r.telemetry
-                for rs in records.values()
-                for r in rs
-                if r.telemetry is not None
-            ]),
+        return task, seeds, resolved
+
+    def submit(
+        self,
+        spec: ExperimentSpec,
+        out_dir: Optional[str] = None,
+        run_id: Optional[str] = None,
+        on_event: Optional[Callable[[RunEvent], None]] = None,
+    ) -> "RunHandle":
+        """Start one experiment in the background; returns its handle.
+
+        With ``out_dir`` the run is durable: the spec, every seed's
+        evaluation history (checkpointed after each simulator query) and
+        each finished cell's record land under that directory, so an
+        interrupt — :meth:`RunHandle.interrupt`, Ctrl-C, or a kill —
+        loses nothing and :meth:`resume` continues the run
+        bit-identically.  Without it the run is in-memory only.
+
+        ``on_event`` is the *synchronous* observer, called in the thread
+        that produced each event before it is queued (with
+        ``parallel_seeds > 1`` that is several seed threads at once, so
+        the callback must be thread-safe): raising
+        :class:`~repro.opt.runner.RunInterrupted` from it stops the
+        raising seed deterministically at that exact boundary (and the
+        rest of the run at their next ones) — e.g. an early-stop policy
+        after a particular ``Checkpointed`` — which the asynchronous
+        :meth:`RunHandle.events` stream cannot guarantee.
+        """
+        from .handle import RunHandle
+
+        task, seeds, resolved = self._resolve(spec)
+        run_dir = (
+            RunDirectory.create(out_dir, spec, run_id=run_id)
+            if out_dir is not None
+            else None
         )
+        if run_dir is not None:
+            run_dir.acquire_lock()  # released when the run settles
+        return RunHandle(
+            self,
+            spec,
+            task,
+            resolved,
+            seeds,
+            run_dir=run_dir,
+            resumed=False,
+            on_event=on_event,
+        )._start()
+
+    def resume(
+        self,
+        run_dir: Union[str, RunDirectory],
+        on_event: Optional[Callable[[RunEvent], None]] = None,
+    ) -> "RunHandle":
+        """Continue an interrupted run directory where it left off.
+
+        Finished (method, seed) cells are served from their ledgered
+        records without re-running; partial cells replay their recorded
+        history through the engine cache (cheap, zero new synthesis for
+        recorded evaluations — all registered methods are deterministic
+        given seed + history, so the replay is bit-identical) and keep
+        going.  Resuming an already-finished run is a no-op that returns
+        the stored records.
+        """
+        from .handle import RunHandle
+
+        directory = (
+            run_dir
+            if isinstance(run_dir, RunDirectory)
+            else RunDirectory.open(run_dir)
+        )
+        spec = directory.spec()
+        task, seeds, resolved = self._resolve(spec)
+        directory.acquire_lock()  # refuses a directory another live run owns
+        return RunHandle(
+            self,
+            spec,
+            task,
+            resolved,
+            seeds,
+            run_dir=directory,
+            resumed=True,
+            on_event=on_event,
+        )._start()
+
+    def run(
+        self,
+        spec: ExperimentSpec,
+        out_dir: Optional[str] = None,
+        progress: Optional[Callable[[RunEvent], None]] = None,
+    ) -> ExperimentResult:
+        """Execute one experiment spec on this session's engine (blocking).
+
+        A thin wrapper over :meth:`submit` that drains the event stream
+        (forwarding each event to ``progress`` when given) and returns
+        the result.  Records are bit-identical to a direct serial run of
+        the same (config, task, budget, seed) grid — the engine changes
+        wall-clock only, never paper-semantics accounting.  If draining
+        is interrupted (e.g. Ctrl-C), the run is asked to stop at its
+        next query boundary and allowed to settle before the exception
+        propagates, so a durable ``out_dir`` is always left resumable.
+        """
+        return self._drain(self.submit(spec, out_dir=out_dir), progress)
+
+    @staticmethod
+    def _drain(handle: "RunHandle", progress=None) -> ExperimentResult:
+        try:
+            for event in handle.events():
+                if progress is not None:
+                    progress(event)
+        except BaseException:
+            handle.interrupt()
+            handle.wait()
+            raise
+        return handle.result()
 
     def telemetry_snapshot(self) -> Dict:
         """The engine's aggregate counters across every run so far."""

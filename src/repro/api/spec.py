@@ -39,6 +39,7 @@ from ..circuits.gray import gray_to_binary_task
 from ..circuits.lzd import lzd_task
 from ..circuits.task import CircuitTask
 from ..synth.library import LIBRARIES, LIBRARY_NAMES
+from ..utils.io import atomic_write_text
 from ..utils.rng import seed_sequence
 from . import registry
 
@@ -307,6 +308,6 @@ def load_spec(path: str) -> ExperimentSpec:
 
 
 def save_spec(spec: ExperimentSpec, path: str) -> None:
-    """Write a spec as indented JSON (round-trips via :func:`load_spec`)."""
-    with open(path, "w") as handle:
-        handle.write(spec.to_json() + "\n")
+    """Write a spec as indented JSON, atomically (round-trips via
+    :func:`load_spec`; parent directories are created)."""
+    atomic_write_text(path, spec.to_json() + "\n")

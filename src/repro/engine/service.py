@@ -303,6 +303,8 @@ class EngineSimulator(CircuitSimulator):
         parallel submission and materializes the plan.
         """
         designs = list(designs)
+        if self.check_abort is not None:
+            self.check_abort()
         self.telemetry.add("queries", len(designs))
 
         HIT, PENDING, REFUSED = 0, 1, 2
@@ -345,6 +347,13 @@ class EngineSimulator(CircuitSimulator):
             )
             self._cache[graph.key()] = evaluation
             self.history.append(evaluation)
+            # Same simulator-boundary hook the scalar `query` fires: the
+            # streaming run API checkpoints/interrupts here.  If it
+            # raises mid-batch, every evaluation appended so far is
+            # already recorded; the batch's later designs simply rerun
+            # on resume (synthesis is deterministic, so bit-identically).
+            if self.on_evaluation is not None:
+                self.on_evaluation(evaluation)
 
         plan: List[Optional[Evaluation]] = []
         for kind, payload in slots:

@@ -20,7 +20,45 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
-__all__ = ["EngineTelemetry", "stage"]
+__all__ = ["EngineTelemetry", "stage", "snapshot_delta"]
+
+#: ratio fields of :meth:`EngineTelemetry.as_dict` — meaningless to
+#: difference, so :func:`snapshot_delta` drops them.
+_DERIVED_KEYS = ("hit_rate", "synth_throughput")
+
+
+def snapshot_delta(before: Dict, after: Dict) -> Dict:
+    """The counter increments between two ``as_dict`` snapshots.
+
+    Returns only the keys that changed (nested stage dicts included), so
+    the deltas attached to streaming
+    :class:`~repro.api.events.EvaluationDone` events stay compact: a
+    scalar cache-hit query shows ``{"queries": 1, "memory_hits": 1}``, a
+    scalar synthesis shows its ``synth_calls`` and stage seconds, and a
+    batched submission's whole-batch counters arrive with its first
+    evaluation (the engine records batch work before announcing any of
+    it).  Derived ratios (``hit_rate``, ``synth_throughput``) are
+    dropped — they are not additive.  ``before`` may be empty (the first
+    event's delta is the snapshot itself).
+    """
+    delta: Dict = {}
+    for key, value in after.items():
+        if key in _DERIVED_KEYS:
+            continue
+        if isinstance(value, dict):
+            prev = before.get(key, {})
+            sub = {
+                name: amount - prev.get(name, 0)
+                for name, amount in value.items()
+                if amount - prev.get(name, 0) != 0
+            }
+            if sub:
+                delta[key] = sub
+        else:
+            diff = value - before.get(key, 0)
+            if diff != 0:
+                delta[key] = diff
+    return delta
 
 
 class EngineTelemetry:

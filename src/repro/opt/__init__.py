@@ -10,8 +10,13 @@ from .results import (
     sims_to_reach,
     vae_speedup,
 )
-from .records_io import load_records, save_records
-from .runner import run_comparison, run_method
+from .records_io import (
+    append_evaluations,
+    load_evaluations,
+    load_records,
+    save_records,
+)
+from .runner import GridObserver, RunInterrupted, run_comparison, run_method
 from .simulator import BudgetExhausted, CircuitSimulator, Evaluation
 
 __all__ = [
@@ -31,6 +36,10 @@ __all__ = [
     "vae_speedup",
     "run_method",
     "run_comparison",
+    "GridObserver",
+    "RunInterrupted",
     "save_records",
     "load_records",
+    "append_evaluations",
+    "load_evaluations",
 ]

@@ -5,20 +5,42 @@ their traces on disk so aggregation, plotting and speedup computation can
 re-run without re-simulating.  Records serialize to a compact JSON; costs
 and metrics round-trip exactly (binary64 via strings is avoided — JSON
 floats are binary64 already).
+
+Two granularities live here:
+
+* **record files** (:func:`save_records` / :func:`load_records`) — whole
+  finished runs, written atomically (temp file + rename, parents
+  created) so a crash mid-save can never corrupt an existing file;
+* **evaluation history JSONL** (:func:`append_evaluations` /
+  :func:`load_evaluations`) — one line per unique simulation, appended
+  and flushed *incrementally while a run is still going*.  This is the
+  durable trail run directories checkpoint after every simulator query;
+  a truncated final line (writer killed mid-append) is skipped with a
+  ``RuntimeWarning`` on load, exactly like the evaluation cache's
+  shards.
 """
 
 from __future__ import annotations
 
 import json
-import os
-from typing import Dict, List, Sequence
+import warnings
+from typing import Dict, Iterable, List, Sequence
 
 import numpy as np
 
 from ..prefix.io import graph_from_dict, graph_to_dict
+from ..utils.io import atomic_write_json, ensure_parent_dir
 from .results import RunRecord
+from .simulator import Evaluation
 
-__all__ = ["save_records", "load_records"]
+__all__ = [
+    "save_records",
+    "load_records",
+    "evaluation_to_dict",
+    "evaluation_from_dict",
+    "append_evaluations",
+    "load_evaluations",
+]
 
 _FORMAT_VERSION = 1
 
@@ -62,14 +84,17 @@ def _record_from_dict(payload: Dict) -> RunRecord:
 
 
 def save_records(path: str, records: Sequence[RunRecord]) -> None:
-    """Write records to a JSON file (creates parent directories)."""
+    """Write records to a JSON file, atomically (parents created).
+
+    The payload is staged to a temp file in the destination directory
+    and renamed into place, so a crash mid-save leaves any previous
+    version of the file intact instead of a truncated JSON document.
+    """
     payload = {
         "version": _FORMAT_VERSION,
         "records": [_record_to_dict(r) for r in records],
     }
-    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
-    with open(path, "w") as handle:
-        json.dump(payload, handle)
+    atomic_write_json(path, payload)
 
 
 def load_records(path: str) -> List[RunRecord]:
@@ -79,3 +104,71 @@ def load_records(path: str) -> List[RunRecord]:
     if payload.get("version") != _FORMAT_VERSION:
         raise ValueError(f"unsupported records version {payload.get('version')!r}")
     return [_record_from_dict(entry) for entry in payload["records"]]
+
+
+# ----------------------------------------------------------------------
+# Incremental evaluation-history JSONL (the run-directory checkpoint
+# trail; see repro.api.rundir).
+# ----------------------------------------------------------------------
+def evaluation_to_dict(evaluation: Evaluation) -> Dict:
+    """One history line: the graph plus every measured field."""
+    return {
+        "graph": graph_to_dict(evaluation.graph),
+        "cost": evaluation.cost,
+        "area_um2": evaluation.area_um2,
+        "delay_ns": evaluation.delay_ns,
+        "sim_index": evaluation.sim_index,
+    }
+
+
+def evaluation_from_dict(payload: Dict) -> Evaluation:
+    """Rebuild (and re-validate the graph of) one history line."""
+    return Evaluation(
+        graph=graph_from_dict(payload["graph"]),
+        cost=float(payload["cost"]),
+        area_um2=float(payload["area_um2"]),
+        delay_ns=float(payload["delay_ns"]),
+        sim_index=int(payload["sim_index"]),
+    )
+
+
+def append_evaluations(path: str, evaluations: Iterable[Evaluation]) -> int:
+    """Append history lines to ``path`` (created with parents) and flush.
+
+    Returns the number of lines written.  Each call is flushed to the
+    OS, so a killed process loses at most the line it was mid-writing —
+    which :func:`load_evaluations` then skips.
+    """
+    ensure_parent_dir(path)
+    count = 0
+    with open(path, "a") as handle:
+        for evaluation in evaluations:
+            handle.write(json.dumps(evaluation_to_dict(evaluation)) + "\n")
+            count += 1
+        handle.flush()
+    return count
+
+
+def load_evaluations(path: str) -> List[Evaluation]:
+    """Read an evaluation-history JSONL; corrupt lines are skipped.
+
+    A truncated or otherwise unparseable line (writer killed mid-append,
+    manual edits) is dropped with a ``RuntimeWarning`` instead of taking
+    resume down — the evaluation it described is simply re-synthesized.
+    """
+    evaluations: List[Evaluation] = []
+    with open(path) as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line:
+                continue
+            try:
+                evaluations.append(evaluation_from_dict(json.loads(line)))
+            except (ValueError, KeyError, TypeError):
+                warnings.warn(
+                    f"skipping corrupt evaluation-history line in {path}: "
+                    f"{line[:60]!r}",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+    return evaluations

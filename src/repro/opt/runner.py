@@ -37,9 +37,70 @@ from .simulator import BudgetExhausted, CircuitSimulator
 if TYPE_CHECKING:  # runtime import would cycle: repro.engine imports repro.opt
     from ..engine.service import EvaluationEngine
 
-__all__ = ["run_method", "run_comparison"]
+__all__ = ["run_method", "run_comparison", "GridObserver", "RunInterrupted"]
 
 AlgorithmFactory = Callable[[int], SearchAlgorithm]
+
+
+class RunInterrupted(RuntimeError):
+    """A run was asked to stop at a simulator query boundary.
+
+    Raised by a :class:`GridObserver` (e.g. when
+    :meth:`repro.api.RunHandle.interrupt` was called); never caught by
+    the algorithms themselves — they only handle
+    :class:`~repro.opt.simulator.BudgetExhausted` — so it unwinds the
+    whole seed cleanly.  Everything evaluated before the interrupt is
+    already recorded (history appends happen before the observer runs),
+    which is what makes interrupted runs resumable.
+    """
+
+
+class GridObserver:
+    """Hook points :func:`_run_seed_grid` offers around each (method, seed).
+
+    The no-op base class; :mod:`repro.api` subclasses it to stream typed
+    run events, write run directories incrementally and implement
+    interrupt/resume.  With ``parallel_seeds > 1`` the per-seed hooks are
+    called concurrently from the seed threads — implementations must be
+    thread-safe across *different* (method, seed) cells (one cell is
+    always driven by a single thread).
+    """
+
+    def check_interrupt(self) -> None:
+        """Raise :class:`RunInterrupted` to stop before the next seed."""
+
+    def completed_record(self, method: str, seed: int) -> Optional[RunRecord]:
+        """A previously finished record for this cell (skips the run)."""
+        return None
+
+    def before_seed(self, method: str, seed: int, simulator: CircuitSimulator) -> int:
+        """Prepare a fresh simulator (e.g. warm-cache replay priming).
+
+        Returns how many recorded evaluations were primed for replay.
+        """
+        return 0
+
+    def on_seed_started(self, method: str, seed: int, replayed: int) -> None:
+        """The seed's algorithm is about to run."""
+
+    def on_evaluation(
+        self,
+        method: str,
+        seed: int,
+        evaluation,
+        simulator: CircuitSimulator,
+    ) -> None:
+        """One new evaluation was appended to the seed's history.
+
+        Called at the simulator query boundary (see
+        :attr:`~repro.opt.simulator.CircuitSimulator.on_evaluation`); may
+        raise :class:`RunInterrupted` to abort the run here.
+        """
+
+    def on_seed_finished(
+        self, method: str, seed: int, record: RunRecord, resumed: bool
+    ) -> None:
+        """The cell completed (``resumed`` = served from a prior record)."""
 
 
 def _make_simulator(
@@ -64,6 +125,7 @@ def _run_seed_grid(
     method_name: Optional[str] = None,
     engine: Optional["EvaluationEngine"] = None,
     parallel_seeds: int = 1,
+    observer: Optional[GridObserver] = None,
 ) -> List[RunRecord]:
     """The engine room behind :meth:`repro.api.Session.run` (and the
     deprecated shims below): one algorithm across seeds, one fresh
@@ -75,19 +137,46 @@ def _run_seed_grid(
     :class:`repro.engine.EvaluationEngine` or ``None`` (plain serial
     simulators); ``parallel_seeds`` runs that many seeds concurrently on
     threads when an engine carries the synthesis work.
+
+    ``observer`` (a :class:`GridObserver`) adds job-lifecycle semantics
+    without touching any method: a per-seed completion ledger (finished
+    cells are served from their stored record, not re-run), warm-cache
+    replay priming, per-evaluation streaming via the simulator-boundary
+    hook, and interruption (:class:`RunInterrupted` propagates out of
+    this function once in-flight seeds reach a query boundary).
     """
+    if observer is not None and method_name is None:
+        raise ValueError("an observed grid needs an explicit method_name")
 
     def _run_one(seed: int) -> RunRecord:
+        if observer is not None:
+            observer.check_interrupt()
+            done = observer.completed_record(method_name, seed)
+            if done is not None:
+                observer.on_seed_finished(method_name, seed, done, resumed=True)
+                return done
         algorithm = factory(seed)
         simulator = _make_simulator(task, budget, engine)
+        if observer is not None:
+            replayed = observer.before_seed(method_name, seed, simulator)
+            observer.on_seed_started(method_name, seed, replayed)
+            simulator.on_evaluation = lambda evaluation: observer.on_evaluation(
+                method_name, seed, evaluation, simulator
+            )
+            # Checked at the start of *every* query (cache hits too), so
+            # an interrupt cannot stall behind a hit-only stretch.
+            simulator.check_abort = observer.check_interrupt
         rng = np.random.default_rng(seed)
         try:
             algorithm.run(simulator, rng)
         except BudgetExhausted:
             pass  # normal termination for budget-driven algorithms
-        return RunRecord.from_simulator(
+        record = RunRecord.from_simulator(
             method_name or algorithm.method_name, seed, simulator
         )
+        if observer is not None:
+            observer.on_seed_finished(method_name, seed, record, resumed=False)
+        return record
 
     seeds = list(seeds)
     if parallel_seeds > 1 and len(seeds) > 1:

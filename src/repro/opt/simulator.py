@@ -16,7 +16,7 @@ Wraps a :class:`~repro.circuits.task.CircuitTask` with:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -55,6 +55,22 @@ class CircuitSimulator:
         #: here so algorithms can time their stages with a plain attribute
         #: access regardless of backend.
         self.telemetry = None
+        #: the simulator-boundary hook: called with each *new*
+        #: :class:`Evaluation` right after it is appended to ``history``
+        #: (cache hits and budget refusals never fire it).  This is how
+        #: the streaming run API (:meth:`repro.api.Session.submit`)
+        #: observes, checkpoints and interrupts every method without
+        #: per-method changes — the hook may raise (e.g.
+        #: :class:`repro.opt.runner.RunInterrupted`) to abort the run at
+        #: a query boundary; the evaluation it was called with is already
+        #: durable in ``history`` at that point.
+        self.on_evaluation: Optional[Callable[[Evaluation], None]] = None
+        #: abort hook checked at the *start* of every query — cache hits
+        #: included, so an interrupt lands at the very next query
+        #: boundary even when a method is cycling through already
+        #: -evaluated designs and ``on_evaluation`` would never fire.
+        #: Raises (e.g. RunInterrupted) to abort; must not mutate state.
+        self.check_abort: Optional[Callable[[], None]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -96,6 +112,8 @@ class CircuitSimulator:
         Raises :class:`BudgetExhausted` if the design is new and the budget
         is used up.
         """
+        if self.check_abort is not None:
+            self.check_abort()
         graph = self.canonicalize(design)
         key = graph.key()
         cached = self._cache.get(key)
@@ -115,6 +133,8 @@ class CircuitSimulator:
         )
         self._cache[key] = evaluation
         self.history.append(evaluation)
+        if self.on_evaluation is not None:
+            self.on_evaluation(evaluation)
         return evaluation
 
     def query_plan(self, designs) -> List[Optional[Evaluation]]:

@@ -1,11 +1,21 @@
 """Tests for run-record persistence (repro.opt.records_io)."""
 
 import json
+import os
 
 import numpy as np
 import pytest
 
-from repro.opt import RunRecord, load_records, save_records
+from repro.opt import (
+    Evaluation,
+    RunRecord,
+    append_evaluations,
+    load_evaluations,
+    load_records,
+    save_records,
+)
+from repro.prefix import sklansky, ripple_carry
+from repro.utils.io import atomic_write_json
 
 
 def make_record(seed=0):
@@ -42,6 +52,72 @@ class TestRoundtrip:
         path = str(tmp_path / "deep" / "nested" / "runs.json")
         save_records(path, [make_record()])
         assert load_records(path)[0].method == "VAE"
+
+
+class TestAtomicity:
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = str(tmp_path / "runs.json")
+        save_records(path, [make_record()])
+        save_records(path, [make_record(1)])  # overwrite goes through temp too
+        assert os.listdir(tmp_path) == ["runs.json"]
+
+    def test_failed_write_preserves_existing_file(self, tmp_path):
+        path = str(tmp_path / "runs.json")
+        save_records(path, [make_record()])
+        before = open(path).read()
+        with pytest.raises(TypeError):
+            atomic_write_json(path, {"bad": object()})  # unserializable
+        assert open(path).read() == before
+        assert os.listdir(tmp_path) == ["runs.json"]  # no stray temp files
+
+    def test_atomic_write_creates_parents(self, tmp_path):
+        path = str(tmp_path / "a" / "b" / "meta.json")
+        atomic_write_json(path, {"ok": 1})
+        assert json.load(open(path)) == {"ok": 1}
+
+
+def make_evaluations(n=4):
+    graphs = [sklansky(n), ripple_carry(n)]
+    return [
+        Evaluation(
+            graph=graph, cost=1.5 + i, area_um2=10.0 * (i + 1),
+            delay_ns=0.25 * (i + 1), sim_index=i + 1,
+        )
+        for i, graph in enumerate(graphs)
+    ]
+
+
+class TestEvaluationHistory:
+    def test_append_and_load_roundtrip(self, tmp_path):
+        path = str(tmp_path / "cell" / "history.jsonl")
+        evaluations = make_evaluations()
+        assert append_evaluations(path, evaluations[:1]) == 1
+        assert append_evaluations(path, evaluations[1:]) == 1  # incremental
+        loaded = load_evaluations(path)
+        assert len(loaded) == 2
+        for original, restored in zip(evaluations, loaded):
+            assert restored.graph == original.graph
+            assert restored.cost == original.cost
+            assert restored.area_um2 == original.area_um2
+            assert restored.delay_ns == original.delay_ns
+            assert restored.sim_index == original.sim_index
+
+    def test_truncated_final_line_is_skipped_with_warning(self, tmp_path):
+        # the signature of a writer SIGKILLed mid-append
+        path = str(tmp_path / "history.jsonl")
+        append_evaluations(path, make_evaluations())
+        with open(path, "a") as handle:
+            handle.write('{"graph": {"version": 1, "n"')  # no newline, cut off
+        with pytest.warns(RuntimeWarning, match="corrupt evaluation-history"):
+            loaded = load_evaluations(path)
+        assert len(loaded) == 2
+
+    def test_blank_lines_ignored(self, tmp_path):
+        path = str(tmp_path / "history.jsonl")
+        append_evaluations(path, make_evaluations()[:1])
+        with open(path, "a") as handle:
+            handle.write("\n\n")
+        assert len(load_evaluations(path)) == 1
 
 
 class TestValidation:

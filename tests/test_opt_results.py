@@ -47,6 +47,15 @@ class TestRunRecord:
         assert sims_to_reach(r, 2.5) == 4
         assert sims_to_reach(r, 1.0) is None
 
+    def test_sims_to_reach_threshold_never_reached_variants(self):
+        # just-below the minimum cost: still never reached
+        r = record([5, 3, 4, 2])
+        assert sims_to_reach(r, np.nextafter(2.0, 0.0)) is None
+        # equality counts as reached (<= semantics)
+        assert sims_to_reach(r, 2.0) == 4
+        # a record with no simulations can never reach anything
+        assert sims_to_reach(record([]), 100.0) is None
+
 
 class TestAggregation:
     def test_aggregate_median_and_quartiles(self):
@@ -59,6 +68,14 @@ class TestAggregation:
     def test_median_iqr_format(self):
         med, q25, q75 = median_iqr([1.0, 2.0, 3.0, 4.0, 5.0])
         assert med == 3.0 and q25 == 2.0 and q75 == 4.0
+
+    def test_median_iqr_single_element(self):
+        # one seed: all three statistics collapse onto the value
+        assert median_iqr([7.25]) == (7.25, 7.25, 7.25)
+
+    def test_median_iqr_accepts_any_sequence(self):
+        # generators and numpy arrays behave like lists
+        assert median_iqr(iter([2.0, 4.0])) == median_iqr(np.array([2.0, 4.0]))
 
 
 class TestSpeedup:
@@ -80,3 +97,20 @@ class TestSpeedup:
         vaes = [record([3], seed=0), record([4, 2], seed=1)]
         speedups = vae_speedup(vaes, others)
         assert speedups == [pytest.approx(1.0), pytest.approx(0.5)]
+
+    def test_speedup_uses_first_time_competitor_reaches_its_best(self):
+        # Competitor hits its best (2.0) at sim 2 and again at sim 4:
+        # the budget B is the *first* time, per the Table-1 definition.
+        other = record([5, 2, 3, 2], method="GA")
+        vae = record([4, 2], method="VAE")
+        (s,) = vae_speedup([vae], [other])
+        assert s == pytest.approx(2 / 2)
+
+    def test_speedup_empty_pairing(self):
+        assert vae_speedup([], []) == []
+
+    def test_speedup_extra_records_ignored_by_zip(self):
+        # unpaired trailing seeds (a crashed run) are dropped, not mixed
+        others = [record([2]), record([1])]
+        vaes = [record([2])]
+        assert len(vae_speedup(vaes, others)) == 1
