@@ -1,0 +1,169 @@
+"""Microbench: compiled CircuitVAE train step vs the eager tape.
+
+Measures ``repro.core.training.train_model`` on the paper's CNN-VAE
+configuration (the architecture of Sec. 5.1 at this repo's CPU scale,
+paper training hyperparameters: beta=0.01, lambda=10, Adam 1e-3, batch
+64) under both execution engines:
+
+* **eager** — the define-by-run tape, the numerical reference
+  (``REPRO_COMPILED_TRAIN=0``);
+* **compiled** — the traced graph executor (:mod:`repro.nn.compile`):
+  fused kernels, liveness-arena buffer reuse, shape-guarded replay.
+
+Asserts the **equivalence contract** (identical per-epoch loss curves to
+1e-10 across both engines, same seeds) and the **>= 2x steady-state
+speedup gate**, then writes a ``BENCH_vae_training.json`` record (the CI
+perf-smoke job uploads it as an artifact).
+
+Environment knobs:
+
+* ``REPRO_BENCH_TRAIN_EPOCHS`` — timed epochs per engine (default 8).
+  The speedup gate only arms at 4+ epochs (enough replay steps to
+  amortize timing noise); CI's perf-smoke job runs 2 epochs, where only
+  the equivalence contract is asserted and the record is still written.
+* ``REPRO_BENCH_ASSERT_SPEEDUP=0`` — disable the speedup gate (the
+  record is still written; equivalence is always asserted).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.core.dataset import CircuitDataset
+from repro.core.training import TrainConfig, train_model
+from repro.core.vae import CircuitVAEModel, VAEConfig
+from repro.prefix import random_graph
+
+from common import once
+
+EPOCHS = int(os.environ.get("REPRO_BENCH_TRAIN_EPOCHS", "8"))
+OUT_PATH = os.environ.get("REPRO_BENCH_OUT", "BENCH_vae_training.json")
+SPEEDUP_TARGET = 2.0
+N = 8  # the repo's standard adder bitwidth (tests/figures)
+DATASET = 128
+BATCH = 64  # paper batch size -> 2 steps per epoch
+EQUIV_EPOCHS = 4
+
+
+def _dataset():
+    rng = np.random.default_rng(0)
+    ds = CircuitDataset()
+    while len(ds) < DATASET:
+        g = random_graph(N, rng, rng.random() * 0.6)
+        ds.add(g, float(g.node_count()))
+    return ds
+
+
+def _fit(ds, compiled, epochs):
+    """One fresh train_model call under the chosen engine."""
+    os.environ["REPRO_COMPILED_TRAIN"] = "1" if compiled else "0"
+    try:
+        model = CircuitVAEModel(VAEConfig(n=N), np.random.default_rng(1))
+        stats = train_model(
+            model, ds, np.random.default_rng(2),
+            TrainConfig(epochs=epochs, batch_size=BATCH),
+        )
+    finally:
+        os.environ.pop("REPRO_COMPILED_TRAIN", None)
+    return stats
+
+
+class _SteadyTrainer:
+    """One engine's steady-state train_model runner.
+
+    One model + optimizer carried across calls, exactly like the
+    acquisition loop of Algorithm 1 — the warm-up call pays the
+    one-time trace/compile, the timed rounds measure pure replay.
+    """
+
+    def __init__(self, ds, compiled, epochs):
+        from repro import nn
+
+        self.ds = ds
+        self.env = "1" if compiled else "0"
+        self.model = CircuitVAEModel(VAEConfig(n=N), np.random.default_rng(1))
+        self.optimizer = nn.Adam(self.model.parameters(), lr=1e-3)
+        self.rng = np.random.default_rng(2)
+        self.config = TrainConfig(epochs=epochs, batch_size=BATCH)
+        self()  # warm-up (compiles when compiled)
+
+    def __call__(self):
+        os.environ["REPRO_COMPILED_TRAIN"] = self.env
+        try:
+            start = time.perf_counter()
+            train_model(
+                self.model, self.ds, self.rng, self.config, optimizer=self.optimizer
+            )
+            return time.perf_counter() - start
+        finally:
+            os.environ.pop("REPRO_COMPILED_TRAIN", None)
+
+
+def run_vae_training():
+    ds = _dataset()
+
+    # -- equivalence contract: identical loss curves to 1e-10 ----------
+    eager_ref = _fit(ds, compiled=False, epochs=EQUIV_EPOCHS)
+    compiled_ref = _fit(ds, compiled=True, epochs=EQUIV_EPOCHS)
+    assert compiled_ref.compiled and not eager_ref.compiled
+    curve_dev = 0.0
+    for name in ("total", "reconstruction", "kl", "cost"):
+        a = np.asarray(getattr(eager_ref, name))
+        b = np.asarray(getattr(compiled_ref, name))
+        np.testing.assert_allclose(b, a, rtol=1e-10, atol=1e-12)
+        curve_dev = max(curve_dev, float(np.max(np.abs(b - a) / np.abs(a))))
+
+    # -- steady-state speedup ------------------------------------------
+    # Min-of-rounds per engine: scheduler/VM load spikes only ever add
+    # time, so the minimum is the robust steady-state estimator (the
+    # classic microbenchmark rule; medians drift under sustained load).
+    eager = _SteadyTrainer(ds, compiled=False, epochs=EPOCHS)
+    eager_s = min(eager() for _ in range(5))
+    compiled = _SteadyTrainer(ds, compiled=True, epochs=EPOCHS)
+    compiled_s = min(compiled() for _ in range(5))
+    steps = EPOCHS * (DATASET // BATCH)
+
+    stats = {
+        "n": N,
+        "dataset": DATASET,
+        "batch_size": BATCH,
+        "epochs": EPOCHS,
+        "steps": steps,
+        "eager_s": eager_s,
+        "compiled_s": compiled_s,
+        "eager_ms_per_step": eager_s / steps * 1e3,
+        "compiled_ms_per_step": compiled_s / steps * 1e3,
+        "speedup": eager_s / compiled_s,
+        "loss_curve_max_rel_dev": curve_dev,
+        "compile_counters": dict(compiled_ref.compile_counters),
+        "cpus": os.cpu_count() or 1,
+    }
+    with open(OUT_PATH, "w") as handle:
+        json.dump(stats, handle, indent=2)
+    return stats
+
+
+def test_vae_training(benchmark):
+    stats = once(benchmark, run_vae_training)
+    print()
+    print(
+        f"CNN-VAE train step: n={stats['n']} batch={stats['batch_size']} "
+        f"({stats['cpus']} CPUs)"
+    )
+    print(f"  eager tape      {stats['eager_ms_per_step']:8.2f} ms/step")
+    print(
+        f"  graph executor  {stats['compiled_ms_per_step']:8.2f} ms/step "
+        f"({stats['speedup']:.2f}x)"
+    )
+    print(
+        f"  loss-curve max rel deviation {stats['loss_curve_max_rel_dev']:.2e} "
+        f"(contract: 1e-10)"
+    )
+    print(f"  record -> {OUT_PATH}")
+    # Equivalence is asserted inside run_vae_training at every scale;
+    # the throughput gate arms once there are enough timed steps for a
+    # stable measurement.
+    if EPOCHS >= 4 and os.environ.get("REPRO_BENCH_ASSERT_SPEEDUP") != "0":
+        assert stats["speedup"] >= SPEEDUP_TARGET, stats

@@ -69,6 +69,7 @@ from .events import (
     RunEvent,
     SeedFinished,
     SeedStarted,
+    TrainingRoundFinished,
 )
 from .handle import RunHandle
 from .registry import (
@@ -114,6 +115,7 @@ __all__ = [
     "SeedStarted",
     "EvaluationDone",
     "Checkpointed",
+    "TrainingRoundFinished",
     "SeedFinished",
     "ExperimentFinished",
 ]

@@ -41,6 +41,7 @@ __all__ = [
     "SeedStarted",
     "EvaluationDone",
     "Checkpointed",
+    "TrainingRoundFinished",
     "SeedFinished",
     "ExperimentFinished",
 ]
@@ -116,6 +117,33 @@ class Checkpointed(RunEvent):
     path: str
     #: total evaluations durable for this cell in the current attempt.
     evaluations: int = 0
+
+
+@dataclass(frozen=True)
+class TrainingRoundFinished(RunEvent):
+    """A model-based method (CircuitVAE, latent BO) finished a retrain.
+
+    Emitted between query boundaries, whenever the method's
+    ``train_model`` call returns.  ``counters`` carries the compiled
+    graph-executor's compile/replay/fusion deltas for the round (empty
+    for eager training); ``epochs_skipped`` counts epochs restored from
+    a durable training checkpoint instead of re-trained (resume).
+    """
+
+    method: str
+    seed: int
+    #: 0-based acquisition-round index within the seed's run.
+    round: int
+    #: epochs actually trained this round.
+    epochs: int
+    #: epochs restored from a checkpoint (only on resumed runs).
+    epochs_skipped: int
+    #: True when the compiled graph executor ran the steps.
+    compiled: bool
+    #: last-epoch losses: total / reconstruction / kl / cost.
+    losses: Dict[str, float]
+    #: compiled-step counter deltas (repro.nn.CompileStats keys).
+    counters: Optional[Dict[str, int]] = None
 
 
 @dataclass(frozen=True)

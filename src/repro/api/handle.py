@@ -22,6 +22,7 @@ interrupt flag.  No method implementation knows any of this exists.
 
 from __future__ import annotations
 
+import os
 import queue
 import threading
 import uuid
@@ -39,6 +40,7 @@ from .events import (
     RunEvent,
     SeedFinished,
     SeedStarted,
+    TrainingRoundFinished,
 )
 from .rundir import RunDirectory
 
@@ -86,6 +88,12 @@ class _StreamingGridObserver(GridObserver):
         run_dir = self._handle.run_dir
         if run_dir is None:
             return 0
+        # Model-based methods checkpoint training epochs here, so a
+        # resume can restore them instead of re-training (train_model's
+        # checkpoint files live next to the cell's evaluation history).
+        simulator.train_checkpoint_dir = os.path.join(
+            run_dir.cell_dir(method, seed), "train"
+        )
         # Warm-cache replay priming: feed the cell's recorded history
         # into the engine's cache *before* the algorithm reruns, so the
         # deterministic replay charges budget through cache hits and
@@ -149,6 +157,20 @@ class _StreamingGridObserver(GridObserver):
                 )
             )
         self.check_interrupt()
+
+    def on_training(self, method, seed, info) -> None:
+        self._handle._emit(
+            TrainingRoundFinished(
+                method=method,
+                seed=seed,
+                round=int(info.get("round", 0)),
+                epochs=int(info.get("epochs", 0)),
+                epochs_skipped=int(info.get("epochs_skipped", 0)),
+                compiled=bool(info.get("compiled", False)),
+                losses=dict(info.get("losses", {})),
+                counters=info.get("counters"),
+            )
+        )
 
     def on_seed_finished(self, method, seed, record, resumed) -> None:
         cell = self._cell(method, seed)

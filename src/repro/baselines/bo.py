@@ -24,7 +24,7 @@ from .. import nn
 from ..core.algorithm import CircuitVAEConfig, build_initial_dataset
 from ..core.dataset import CircuitDataset
 from ..core.search import decode_and_query, initialize_latents
-from ..core.training import train_model
+from ..core.training import report_training_round, train_model
 from ..core.vae import CircuitVAEModel, VAEConfig
 from ..engine.telemetry import stage
 from ..opt.optimizer import SearchAlgorithm
@@ -94,18 +94,24 @@ class LatentBO(SearchAlgorithm):
         optimizer = nn.Adam(self.model.parameters(), lr=vae_cfg.train.lr)
 
         telemetry = simulator.telemetry
+        checkpoint_dir = getattr(simulator, "train_checkpoint_dir", None)
         first_round = True
+        round_index = 0
         while not simulator.exhausted():
             epochs = vae_cfg.first_round_epochs if first_round else vae_cfg.train.epochs
             with stage(telemetry, "train"):
-                train_model(
+                stats = train_model(
                     self.model,
                     self.dataset,
                     rng,
                     config=replace(vae_cfg.train, epochs=epochs),
                     optimizer=optimizer,
+                    checkpoint_dir=checkpoint_dir,
+                    checkpoint_tag=f"round{round_index:03d}",
                 )
+            report_training_round(simulator, stats, round_index)
             first_round = False
+            round_index += 1
 
             with stage(telemetry, "acquisition"):
                 # Fit the GP on (latent mean, cost) of the most promising

@@ -31,7 +31,7 @@ from .search import (
     initialize_latents,
     latent_gradient_search,
 )
-from .training import TrainConfig, train_model
+from .training import TrainConfig, report_training_round, train_model
 from .vae import CircuitVAEModel, VAEConfig
 
 __all__ = ["CircuitVAEConfig", "CircuitVAEOptimizer", "build_initial_dataset"]
@@ -130,19 +130,28 @@ class CircuitVAEOptimizer(SearchAlgorithm):
         )
         optimizer = nn.Adam(model.parameters(), lr=config.train.lr)
 
+        # Durable per-cell training checkpoints (set by the run-directory
+        # layer); each acquisition round gets its own tag so resume can
+        # skip exactly the epochs the interrupted attempt completed.
+        checkpoint_dir = getattr(simulator, "train_checkpoint_dir", None)
         first_round = True
+        round_index = 0
         while not simulator.exhausted():
             # Lines 4-5: reweight and refit on the grown dataset.
             epochs = config.first_round_epochs if first_round else config.train.epochs
             with stage(telemetry, "train"):
-                train_model(
+                stats = train_model(
                     model,
                     self.dataset,
                     rng,
                     config=replace(config.train, epochs=epochs),
                     optimizer=optimizer,
+                    checkpoint_dir=checkpoint_dir,
+                    checkpoint_tag=f"round{round_index:03d}",
                 )
+            report_training_round(simulator, stats, round_index)
             first_round = False
+            round_index += 1
 
             # Lines 6-8: initialize and run prior-regularized search.
             z0 = initialize_latents(

@@ -96,6 +96,15 @@ class CircuitVAEModel(nn.Module):
     def encode(self, grids: np.ndarray) -> Tuple[nn.Tensor, nn.Tensor]:
         """Map (B, n, n) grids to posterior (mu, logvar), each (B, latent)."""
         x = nn.Tensor(self._pad_grids(np.asarray(grids, dtype=np.float64)))
+        return self.encode_tensor(x)
+
+    def encode_tensor(self, x: nn.Tensor) -> Tuple[nn.Tensor, nn.Tensor]:
+        """Encoder on an already-padded (B, 1, m, m) tensor.
+
+        The tensor-in/tensor-out form is what the compiled training step
+        traces (:mod:`repro.nn.compile`): all per-step data must flow
+        through explicit tensor inputs, so padding happens outside.
+        """
         h = self.enc_conv1(x).relu()
         h = self.enc_conv2(h).relu()
         h = self.enc_conv3(h).relu()
@@ -141,6 +150,36 @@ class CircuitVAEModel(nn.Module):
         logits = self.decode(z)
         cost_pred = self.predict_cost(z)
         return logits, mu, logvar, z, cost_pred
+
+    def training_losses(
+        self,
+        x_pad: nn.Tensor,
+        target_grid: nn.Tensor,
+        eps: nn.Tensor,
+        cost_targets: nn.Tensor,
+        beta: float,
+        lam: float,
+    ) -> dict:
+        """One training step's loss assembly (paper Eq. 3), tensor-in.
+
+        Shared verbatim by the eager loop and the compiled trace in
+        :func:`repro.core.training.train_model`: all per-step data
+        (padded grids, reconstruction target, reparameterization noise,
+        standardized cost targets) enters as tensors, so the compiled
+        replay stays numerically equivalent to eager by construction.
+        Returns ``{"loss", "reconstruction", "kl", "cost"}``.
+        """
+        from ..nn import losses as L
+
+        mu, logvar = self.encode_tensor(x_pad)
+        z = mu + (logvar * 0.5).exp() * eps
+        logits = self.decode(z)
+        cost_pred = self.predict_cost(z)
+        rec = L.reconstruction_loss(logits, target_grid)
+        kl = L.kl_loss(mu, logvar)
+        cost = L.cost_prediction_loss(cost_pred, cost_targets)
+        loss = rec + beta * kl + lam * cost
+        return {"loss": loss, "reconstruction": rec, "kl": kl, "cost": cost}
 
     # ------------------------------------------------------------------
     # Design sampling

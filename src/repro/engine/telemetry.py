@@ -91,6 +91,12 @@ class EngineTelemetry:
         split: ``synthesis`` is total synthesis wall-clock, with
         ``synthesis_vectorized`` / ``synthesis_scalar`` attributing it
         to the two execution paths.
+    ``train_*``
+        Neural-training engine counters (CircuitVAE / latent-BO rounds):
+        epochs trained vs restored from checkpoints, and the
+        compiled-step compile/replay/fusion/fallback counts from
+        :mod:`repro.nn.compile` (``train_fused_kernels`` counts ops
+        folded into fused chains across compiles).
     """
 
     _COUNTERS = (
@@ -105,6 +111,12 @@ class EngineTelemetry:
         "batch_designs",
         "vector_batches",
         "vector_designs",
+        "train_epochs",
+        "train_epochs_skipped",
+        "train_compiles",
+        "train_replays",
+        "train_fused_kernels",
+        "train_fallbacks",
     )
 
     def __init__(self) -> None:

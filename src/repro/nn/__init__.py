@@ -7,7 +7,9 @@ the equivalent substrate offline: reverse-mode autograd
 (:mod:`repro.nn.serialize`).
 """
 
-from . import functional, init, losses
+from . import functional, graph, init, losses
+from . import compile as compile  # noqa: A001 — torch-style nn.compile namespace
+from .compile import CompiledTrainStep, CompileStats, CompileUnsupported, compile_train_step
 from .layers import (
     MLP,
     Conv2d,
@@ -64,4 +66,10 @@ __all__ = [
     "functional",
     "losses",
     "init",
+    "graph",
+    "compile",
+    "CompiledTrainStep",
+    "CompileStats",
+    "CompileUnsupported",
+    "compile_train_step",
 ]

@@ -11,13 +11,7 @@ from typing import Optional
 
 import numpy as np
 
-from .conv import (
-    conv2d_backward,
-    conv2d_forward,
-    conv_transpose2d_backward,
-    conv_transpose2d_forward,
-)
-from .tensor import Tensor, _ensure_tensor
+from .tensor import Tensor, _ensure_tensor, apply
 
 __all__ = [
     "linear",
@@ -46,13 +40,7 @@ def linear(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None) -> Tensor:
 def conv2d(x: Tensor, weight: Tensor, bias: Optional[Tensor] = None, stride: int = 1, padding: int = 0) -> Tensor:
     """2-D cross-correlation with autograd support (NCHW)."""
     x_t, w_t = _ensure_tensor(x), _ensure_tensor(weight)
-    data = conv2d_forward(x_t.data, w_t.data, stride, padding)
-
-    def backward(g: np.ndarray):
-        dx, dw = conv2d_backward(g, x_t.data, w_t.data, stride, padding)
-        return (dx, dw)
-
-    out = Tensor._make(data, (x_t, w_t), backward)
+    out = apply("conv2d", (x_t, w_t), {"stride": stride, "padding": padding})
     if bias is not None:
         out = out + bias.reshape(1, -1, 1, 1)
     return out
@@ -63,13 +51,9 @@ def conv_transpose2d(
 ) -> Tensor:
     """Transposed 2-D convolution (weight shape: (in, out, kh, kw))."""
     x_t, w_t = _ensure_tensor(x), _ensure_tensor(weight)
-    data = conv_transpose2d_forward(x_t.data, w_t.data, stride, padding)
-
-    def backward(g: np.ndarray):
-        dx, dw = conv_transpose2d_backward(g, x_t.data, w_t.data, stride, padding)
-        return (dx, dw)
-
-    out = Tensor._make(data, (x_t, w_t), backward)
+    out = apply(
+        "conv_transpose2d", (x_t, w_t), {"stride": stride, "padding": padding}
+    )
     if bias is not None:
         out = out + bias.reshape(1, -1, 1, 1)
     return out

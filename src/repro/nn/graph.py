@@ -1,0 +1,566 @@
+"""The graph layer of :mod:`repro.nn`: an explicit op IR for autograd.
+
+Historically every :class:`~repro.nn.tensor.Tensor` operation recorded a
+*backward closure* — a fresh Python lambda capturing the operands — which
+made the tape opaque: it could be walked, but not analyzed, scheduled,
+or replayed.  This module replaces that with data:
+
+* :class:`OpDef` — one entry per differentiable operation, holding the
+  forward kernel and the **VJP rule as a plain function over arrays**
+  (``vjp(g, out, inputs, attrs, needed) -> per-parent grads``), plus the
+  metadata the compiler needs (elementwise? does the VJP read the saved
+  output / input values? is the output a view?).
+* :data:`OPS` — the registry.  ``Tensor`` methods dispatch through
+  :func:`repro.nn.tensor.apply`, which looks ops up here; eager mode
+  computes immediately and stores only ``(op id, parents, attrs)`` on
+  the output tensor, so :meth:`Tensor.backward` re-derives gradients
+  from the registry instead of calling captured closures.
+* :class:`Node` / :class:`Trace` — the IR.  While a trace is active
+  (always thread-local: parallel seeds train concurrently), every
+  ``apply`` also records a :class:`Node` with integer parent ids, which
+  is what :mod:`repro.nn.compile` turns into a scheduled, buffer-reusing
+  :class:`~repro.nn.compile.GraphProgram`.
+
+Eager semantics are unchanged: the same kernels run in the same order
+with the same operand aliasing the old closures captured, so eager
+results are bit-identical to the pre-IR tape.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .conv import (
+    conv2d_backward,
+    conv2d_forward,
+    conv_transpose2d_backward,
+    conv_transpose2d_forward,
+)
+
+__all__ = [
+    "OpDef",
+    "OPS",
+    "register_op",
+    "Node",
+    "Trace",
+    "active_trace",
+    "stable_sigmoid",
+]
+
+
+def stable_sigmoid(x: np.ndarray, out: Optional[np.ndarray] = None) -> np.ndarray:
+    """Numerically-stable logistic function (optionally into ``out``)."""
+    out = np.empty_like(x, dtype=x.dtype) if out is None else out
+    pos = x >= 0
+    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
+    ex = np.exp(x[~pos])
+    out[~pos] = ex / (1.0 + ex)
+    return out
+
+
+# ----------------------------------------------------------------------
+# Op definitions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class OpDef:
+    """One differentiable operation: forward kernel + VJP rule as data.
+
+    ``forward(inputs, attrs)`` returns a fresh array (or a view for
+    ``view=True`` ops).  ``kernel(inputs, attrs, out)``, when present,
+    writes the same values into a preallocated ``out`` buffer — the
+    compiler uses it for buffer reuse; it must be bit-identical to
+    ``forward``.  ``vjp(g, out, inputs, attrs, needed)`` returns one
+    gradient per parent (entries for parents with ``needed[i]`` False
+    may be anything; eager ignores them, like the old closures did).
+
+    ``needs_out`` / ``needs_inputs`` declare whether the VJP reads the
+    saved output / input *values* (not just shapes) — this is the
+    liveness information behind the compiler's buffer arena and its
+    elementwise fusion rule.
+    """
+
+    name: str
+    forward: Callable[[Tuple[np.ndarray, ...], Dict], np.ndarray]
+    vjp: Callable
+    kernel: Optional[Callable] = None
+    elementwise: bool = False
+    needs_out: bool = False
+    needs_inputs: bool = False
+    view: bool = False
+
+
+OPS: Dict[str, OpDef] = {}
+
+
+def register_op(op: OpDef) -> OpDef:
+    """Add an op to the registry (name collisions are a programming error)."""
+    if op.name in OPS:
+        raise ValueError(f"op {op.name!r} already registered")
+    OPS[op.name] = op
+    return op
+
+
+def _op(name, forward, vjp, **meta) -> OpDef:
+    return register_op(OpDef(name, forward, vjp, **meta))
+
+
+# -- elementwise arithmetic --------------------------------------------
+_op(
+    "add",
+    lambda x, a: x[0] + x[1],
+    lambda g, out, x, a, need: (g, g),
+    kernel=lambda x, a, out: np.add(x[0], x[1], out=out),
+    elementwise=True,
+)
+_op(
+    "sub",
+    lambda x, a: x[0] - x[1],
+    lambda g, out, x, a, need: (g, -g),
+    kernel=lambda x, a, out: np.subtract(x[0], x[1], out=out),
+    elementwise=True,
+)
+_op(
+    "mul",
+    lambda x, a: x[0] * x[1],
+    lambda g, out, x, a, need: (g * x[1], g * x[0]),
+    kernel=lambda x, a, out: np.multiply(x[0], x[1], out=out),
+    elementwise=True,
+    needs_inputs=True,
+)
+_op(
+    "div",
+    lambda x, a: x[0] / x[1],
+    lambda g, out, x, a, need: (g / x[1], -g * x[0] / (x[1] * x[1])),
+    kernel=lambda x, a, out: np.divide(x[0], x[1], out=out),
+    elementwise=True,
+    needs_inputs=True,
+)
+_op(
+    "neg",
+    lambda x, a: -x[0],
+    lambda g, out, x, a, need: (-g,),
+    kernel=lambda x, a, out: np.negative(x[0], out=out),
+    elementwise=True,
+)
+_op(
+    "pow",
+    lambda x, a: x[0] ** a["exponent"],
+    lambda g, out, x, a, need: (
+        g * a["exponent"] * x[0] ** (a["exponent"] - 1),
+    ),
+    kernel=lambda x, a, out: np.power(x[0], a["exponent"], out=out),
+    elementwise=True,
+    needs_inputs=True,
+)
+
+# -- elementwise functions ---------------------------------------------
+_op(
+    "exp",
+    lambda x, a: np.exp(x[0]),
+    lambda g, out, x, a, need: (g * out,),
+    kernel=lambda x, a, out: np.exp(x[0], out=out),
+    elementwise=True,
+    needs_out=True,
+)
+_op(
+    "log",
+    lambda x, a: np.log(x[0]),
+    lambda g, out, x, a, need: (g / x[0],),
+    kernel=lambda x, a, out: np.log(x[0], out=out),
+    elementwise=True,
+    needs_inputs=True,
+)
+_op(
+    "sqrt",
+    lambda x, a: np.sqrt(x[0]),
+    lambda g, out, x, a, need: (g * 0.5 / out,),
+    kernel=lambda x, a, out: np.sqrt(x[0], out=out),
+    elementwise=True,
+    needs_out=True,
+)
+_op(
+    "abs",
+    lambda x, a: np.abs(x[0]),
+    lambda g, out, x, a, need: (g * np.sign(x[0]),),
+    kernel=lambda x, a, out: np.abs(x[0], out=out),
+    elementwise=True,
+    needs_inputs=True,
+)
+_op(
+    "tanh",
+    lambda x, a: np.tanh(x[0]),
+    lambda g, out, x, a, need: (g * (1.0 - out * out),),
+    kernel=lambda x, a, out: np.tanh(x[0], out=out),
+    elementwise=True,
+    needs_out=True,
+)
+_op(
+    "sigmoid",
+    lambda x, a: stable_sigmoid(x[0]),
+    lambda g, out, x, a, need: (g * out * (1.0 - out),),
+    kernel=lambda x, a, out: stable_sigmoid(x[0], out=out),
+    elementwise=True,
+    needs_out=True,
+)
+_op(
+    "relu",
+    lambda x, a: x[0] * (x[0] > 0),
+    lambda g, out, x, a, need: (g * (x[0] > 0),),
+    kernel=lambda x, a, out: np.multiply(x[0], x[0] > 0, out=out),
+    elementwise=True,
+    needs_inputs=True,
+)
+
+
+def _leaky_mask(x: np.ndarray, slope: float) -> np.ndarray:
+    return np.where(x > 0, 1.0, slope)
+
+
+_op(
+    "leaky_relu",
+    lambda x, a: x[0] * _leaky_mask(x[0], a["negative_slope"]),
+    lambda g, out, x, a, need: (g * _leaky_mask(x[0], a["negative_slope"]),),
+    kernel=lambda x, a, out: np.multiply(
+        x[0], _leaky_mask(x[0], a["negative_slope"]), out=out
+    ),
+    elementwise=True,
+    needs_inputs=True,
+)
+_op(
+    "softplus",
+    lambda x, a: np.logaddexp(0.0, x[0]),
+    lambda g, out, x, a, need: (g * stable_sigmoid(x[0]),),
+    kernel=lambda x, a, out: np.logaddexp(0.0, x[0], out=out),
+    elementwise=True,
+    needs_inputs=True,
+)
+_op(
+    "clip",
+    lambda x, a: np.clip(x[0], a["low"], a["high"]),
+    lambda g, out, x, a, need: (
+        g * ((x[0] >= a["low"]) & (x[0] <= a["high"])),
+    ),
+    kernel=lambda x, a, out: np.clip(x[0], a["low"], a["high"], out=out),
+    elementwise=True,
+    needs_inputs=True,
+)
+
+
+def _where_fw(x, a):
+    return np.where(a["condition"], x[0], x[1])
+
+
+def _where_vjp(g, out, x, a, need):
+    cond = a["condition"]
+    return (g * cond, g * (~cond))
+
+
+_op("where", _where_fw, _where_vjp, elementwise=True)
+
+
+# -- reductions --------------------------------------------------------
+def _sum_fw(x, a):
+    return x[0].sum(axis=a["axis"], keepdims=a["keepdims"])
+
+
+def _sum_kernel(x, a, out):
+    return np.sum(x[0], axis=a["axis"], keepdims=a["keepdims"], out=out)
+
+
+def _sum_vjp(g, out, x, a, need):
+    axis, keepdims = a["axis"], a["keepdims"]
+    grad = g
+    if axis is not None and not keepdims:
+        grad = np.expand_dims(grad, axis=axis)
+    return (np.broadcast_to(grad, x[0].shape).copy(),)
+
+
+_op("sum", _sum_fw, _sum_vjp, kernel=_sum_kernel)
+
+
+def _max_fw(x, a):
+    return x[0].max(axis=a["axis"], keepdims=a["keepdims"])
+
+
+def _max_vjp(g, out, x, a, need):
+    axis, keepdims = a["axis"], a["keepdims"]
+    data = x[0]
+    grad, full = g, out
+    if axis is not None and not keepdims:
+        grad = np.expand_dims(grad, axis=axis)
+        full = np.expand_dims(out, axis=axis)
+    mask = (data == full).astype(np.float64)
+    counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
+    return ((mask / counts) * grad * np.ones(data.shape),)
+
+
+_op("max", _max_fw, _max_vjp, needs_out=True, needs_inputs=True)
+
+
+# -- linear algebra ----------------------------------------------------
+def _matmul_vjp(g, out, x, a, need):
+    ma, mb = x
+    if ma.ndim == 1 and mb.ndim == 1:
+        return (g * mb, g * ma)
+    ga = g @ np.swapaxes(mb, -1, -2) if mb.ndim > 1 else np.outer(g, mb)
+    gb = np.swapaxes(ma, -1, -2) @ g if ma.ndim > 1 else np.outer(ma, g)
+    return (ga, gb)
+
+
+_op(
+    "matmul",
+    lambda x, a: x[0] @ x[1],
+    _matmul_vjp,
+    kernel=lambda x, a, out: np.matmul(x[0], x[1], out=out),
+    needs_inputs=True,
+)
+
+
+# -- shape manipulation ------------------------------------------------
+_op(
+    "reshape",
+    lambda x, a: x[0].reshape(a["shape"]),
+    lambda g, out, x, a, need: (g.reshape(x[0].shape),),
+    view=True,
+)
+_op(
+    "transpose",
+    lambda x, a: x[0].transpose(a["axes"]),
+    lambda g, out, x, a, need: (g.transpose(a["inverse"]),),
+    view=True,
+)
+
+
+def _getitem_vjp(g, out, x, a, need):
+    full = np.zeros(x[0].shape, dtype=np.float64)
+    np.add.at(full, a["idx"], g)
+    return (full,)
+
+
+_op("getitem", lambda x, a: x[0][a["idx"]], _getitem_vjp, view=True)
+
+
+def _pad2d_fw(x, a):
+    pad = a["pad"]
+    widths = [(0, 0)] * (x[0].ndim - 2) + [(pad, pad), (pad, pad)]
+    return np.pad(x[0], widths)
+
+
+def _pad2d_vjp(g, out, x, a, need):
+    pad = a["pad"]
+    slicer = tuple(
+        [slice(None)] * (x[0].ndim - 2) + [slice(pad, -pad), slice(pad, -pad)]
+    )
+    return (g[slicer],)
+
+
+_op("pad2d", _pad2d_fw, _pad2d_vjp)
+
+
+def _concat_vjp(g, out, x, a, need):
+    axis = a["axis"]
+    offsets = np.cumsum([0] + [arr.shape[axis] for arr in x])
+    grads = []
+    for start, stop in zip(offsets[:-1], offsets[1:]):
+        slicer = [slice(None)] * g.ndim
+        slicer[axis] = slice(int(start), int(stop))
+        grads.append(g[tuple(slicer)])
+    return tuple(grads)
+
+
+_op(
+    "concatenate",
+    lambda x, a: np.concatenate(x, axis=a["axis"]),
+    _concat_vjp,
+    kernel=lambda x, a, out: np.concatenate(x, axis=a["axis"], out=out),
+)
+_op(
+    "stack",
+    lambda x, a: np.stack(x, axis=a["axis"]),
+    lambda g, out, x, a, need: tuple(
+        np.take(g, i, axis=a["axis"]) for i in range(len(x))
+    ),
+    kernel=lambda x, a, out: np.stack(x, axis=a["axis"], out=out),
+)
+
+
+# -- convolutions ------------------------------------------------------
+def _conv2d_vjp(g, out, x, a, need):
+    return conv2d_backward(g, x[0], x[1], a["stride"], a["padding"])
+
+
+_op(
+    "conv2d",
+    lambda x, a: conv2d_forward(x[0], x[1], a["stride"], a["padding"]),
+    _conv2d_vjp,
+    needs_inputs=True,
+)
+
+
+def _conv_transpose2d_vjp(g, out, x, a, need):
+    return conv_transpose2d_backward(g, x[0], x[1], a["stride"], a["padding"])
+
+
+_op(
+    "conv_transpose2d",
+    lambda x, a: conv_transpose2d_forward(x[0], x[1], a["stride"], a["padding"]),
+    _conv_transpose2d_vjp,
+    needs_inputs=True,
+)
+
+
+# ----------------------------------------------------------------------
+# The IR: nodes and traces
+# ----------------------------------------------------------------------
+@dataclass
+class Node:
+    """One vertex of a traced computation.
+
+    ``kind`` is ``"op"`` for registry applications and ``"input"`` /
+    ``"param"`` / ``"constant"`` for leaves.  Parents are node ids, so a
+    trace is a plain array-of-structs DAG the compiler can schedule and
+    analyze without touching any Tensor object.
+    """
+
+    id: int
+    kind: str
+    op: Optional[str]
+    parents: Tuple[int, ...]
+    attrs: Dict
+    shape: Tuple[int, ...]
+    dtype: np.dtype
+    requires_grad: bool
+
+
+_ACTIVE = threading.local()
+
+
+def active_trace() -> Optional["Trace"]:
+    """The trace currently recording on this thread, if any."""
+    return getattr(_ACTIVE, "trace", None)
+
+
+class Trace:
+    """Records every registry op applied while active (as a context
+    manager) into a list of :class:`Node`.
+
+    Leaves are classified on first encounter: tensors listed in
+    ``params`` become ``param`` nodes (their storage is read live at
+    every replay, so in-place optimizer updates are seen), tensors in
+    ``inputs`` become ``input`` nodes (rebound to fresh arrays on every
+    replay), and anything else — scalars and arrays created *inside*
+    the traced function — is captured as a ``constant`` by reference.
+    A traced function must therefore route all per-step data through
+    declared inputs; that contract is what makes replay valid.
+
+    Ops that bypass the registry (legacy closure tape via
+    ``Tensor._make``) cannot be represented; they land in
+    :attr:`unsupported` and the compiler falls back to eager.
+    """
+
+    def __init__(self, params: Sequence = (), inputs: Sequence = ()):
+        self.nodes: List[Node] = []
+        self.unsupported: List[str] = []
+        self._ids: Dict[int, int] = {}
+        self._pins: List[object] = []  # keep tensors alive: id() stays unique
+        self._param_tensors = {id(p): p for p in params}
+        self._input_tensors = {id(t): t for t in inputs}
+        self.param_nodes: Dict[int, object] = {}  # node id -> param Tensor
+        self.input_nodes: Dict[int, int] = {}  # node id -> position in `inputs`
+        self._input_order = [id(t) for t in inputs]
+        self.constants: Dict[int, np.ndarray] = {}  # node id -> array
+        self.tensor_nodes: Dict[int, int] = {}  # id(tensor) -> node id
+        #: example value per node (the arrays the traced call computed);
+        #: the compiler verifies its program against these bit-for-bit.
+        self.values: Dict[int, np.ndarray] = {}
+
+    # -- context management -------------------------------------------
+    def __enter__(self) -> "Trace":
+        if active_trace() is not None:
+            raise RuntimeError("a trace is already active on this thread")
+        _ACTIVE.trace = self
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _ACTIVE.trace = None
+
+    # -- recording -----------------------------------------------------
+    def _new_node(self, **kwargs) -> Node:
+        node = Node(id=len(self.nodes), **kwargs)
+        self.nodes.append(node)
+        return node
+
+    def node_of(self, tensor) -> int:
+        """The node id of ``tensor``, creating a leaf on first sight."""
+        key = id(tensor)
+        existing = self._ids.get(key)
+        if existing is not None:
+            return existing
+        self._pins.append(tensor)
+        if key in self._param_tensors:
+            kind = "param"
+        elif key in self._input_tensors:
+            kind = "input"
+        else:
+            kind = "constant"
+        node = self._new_node(
+            kind=kind,
+            op=None,
+            parents=(),
+            attrs={},
+            shape=tensor.data.shape,
+            dtype=tensor.data.dtype,
+            requires_grad=bool(tensor.requires_grad),
+        )
+        if kind == "param":
+            self.param_nodes[node.id] = tensor
+        elif kind == "input":
+            self.input_nodes[node.id] = self._input_order.index(key)
+        else:
+            self.constants[node.id] = tensor.data
+        self._ids[key] = node.id
+        self.tensor_nodes[key] = node.id
+        self.values[node.id] = tensor.data
+        return node.id
+
+    def record(self, op_name: str, inputs: Sequence, attrs: Dict, out) -> int:
+        """Record one registry application; returns the new node id."""
+        parents = tuple(self.node_of(p) for p in inputs)
+        node = self._new_node(
+            kind="op",
+            op=op_name,
+            parents=parents,
+            attrs=attrs,
+            shape=out.data.shape,
+            dtype=out.data.dtype,
+            requires_grad=bool(out.requires_grad),
+        )
+        self._pins.append(out)
+        self._ids[id(out)] = node.id
+        self.tensor_nodes[id(out)] = node.id
+        self.values[node.id] = out.data
+        return node.id
+
+    def record_unsupported(self, reason: str) -> None:
+        """A closure-based (non-registry) op ran under this trace."""
+        self.unsupported.append(reason)
+
+    def release(self) -> None:
+        """Drop the example values and tensor pins after compilation.
+
+        They are only needed while a program is built and verified; a
+        cached program holds the trace for its node/leaf tables, and
+        without this the full set of traced intermediate arrays would
+        stay resident for the program's whole lifetime.
+        """
+        self.values.clear()
+        self._pins.clear()
+        self._ids.clear()
+        self.tensor_nodes.clear()
+
+    def __len__(self) -> int:
+        return len(self.nodes)

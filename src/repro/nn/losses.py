@@ -63,9 +63,16 @@ def kl_loss(mu: Tensor, logvar: Tensor, weights: Optional[np.ndarray] = None) ->
 
 
 def cost_prediction_loss(
-    predicted: Tensor, actual: np.ndarray, weights: Optional[np.ndarray] = None
+    predicted: Tensor, actual, weights: Optional[np.ndarray] = None
 ) -> Tensor:
-    """Squared-error loss of the cost head, L_pi = (f_pi(z) - c)^2."""
-    target = Tensor(np.asarray(actual, dtype=np.float64).reshape(-1))
+    """Squared-error loss of the cost head, L_pi = (f_pi(z) - c)^2.
+
+    ``actual`` may be a numpy array or a :class:`Tensor` — the compiled
+    training step passes targets as tensors so they trace as inputs.
+    """
+    if isinstance(actual, Tensor):
+        target = actual.reshape(-1)
+    else:
+        target = Tensor(np.asarray(actual, dtype=np.float64).reshape(-1))
     diff = predicted.reshape(-1) - target
     return weighted_mean(diff * diff, weights)

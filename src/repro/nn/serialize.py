@@ -1,21 +1,35 @@
-"""Save/load model parameters as ``.npz`` archives."""
+"""Save/load model parameters as ``.npz`` archives.
+
+Writes are atomic (serialize to memory, then temp-file + ``os.replace``
+via :mod:`repro.utils.io`), so a crash mid-save can never leave a
+truncated archive behind — a checkpoint either exists in full or not at
+all.  Dtype, shape and key order round-trip exactly.
+"""
 
 from __future__ import annotations
 
-import os
+import io
 from typing import Dict
 
 import numpy as np
 
+from ..utils.io import atomic_write_bytes
 from .layers import Module
 
 __all__ = ["save_module", "load_module", "save_state", "load_state"]
 
 
 def save_state(state: Dict[str, np.ndarray], path: str) -> None:
-    """Write a parameter dict to ``path`` (npz).  Keys may contain dots."""
-    os.makedirs(os.path.dirname(os.path.abspath(path)), exist_ok=True)
-    np.savez(path, **state)
+    """Atomically write a parameter dict to ``path`` (npz).
+
+    Keys may contain dots.  Unlike a bare ``np.savez(path)``, no
+    ``.npz`` suffix is appended — the file lands at exactly ``path``
+    (parent directories are created), so ``load_state(path)`` always
+    finds what ``save_state(path)`` wrote.
+    """
+    buffer = io.BytesIO()
+    np.savez(buffer, **state)
+    atomic_write_bytes(path, buffer.getvalue())
 
 
 def load_state(path: str) -> Dict[str, np.ndarray]:
@@ -24,7 +38,7 @@ def load_state(path: str) -> Dict[str, np.ndarray]:
 
 
 def save_module(module: Module, path: str) -> None:
-    """Persist a module's parameters."""
+    """Persist a module's parameters (atomic; see :func:`save_state`)."""
     save_state(module.state_dict(), path)
 
 

@@ -5,30 +5,49 @@ network substrate used by the CircuitVAE reproduction (the paper used
 PyTorch, which is unavailable offline; the repo-root ``DESIGN.md``
 documents this and the other substrate stand-ins).
 
-The design is a classic define-by-run tape:
+The engine has two modes sharing one op set (:mod:`repro.nn.graph`):
 
-* :class:`Tensor` wraps an ``np.ndarray`` plus an optional gradient buffer.
-* Every differentiable operation records a backward closure and its parent
-  tensors; :meth:`Tensor.backward` topologically sorts the tape and runs the
-  closures in reverse.
-* Broadcasting is supported everywhere; gradients are un-broadcast (summed)
-  back to each parent's shape.
+* **Eager define-by-run** (the default, and the numerical reference):
+  every differentiable operation dispatches through :func:`apply`, which
+  computes immediately and stores ``(op id, parents, attrs)`` on the
+  output — VJP rules live in the op registry as data, not in per-call
+  closures.  :meth:`Tensor.backward` topologically sorts this tape and
+  applies the registry rules in reverse.
+* **Traced**: while a :class:`repro.nn.graph.Trace` is active (see
+  :mod:`repro.nn.compile`), :func:`apply` additionally records each op
+  into an explicit :class:`~repro.nn.graph.Node` IR that the compiler
+  schedules into a buffer-reusing, fused replay program.
 
-Only float64/float32 tensors participate in autograd.  The engine is
-deliberately minimal but complete enough to train CNN/MLP VAEs with Adam:
-elementwise math, matmul, reductions, shape manipulation, indexing and
-concatenation all propagate gradients.
+Broadcasting is supported everywhere; gradients are un-broadcast
+(summed) back to each parent's shape.  Tensors are float64 by default;
+float32 arrays keep their dtype, and an op mixing float32 and float64
+operands normalizes to float64 with a one-time ``RuntimeWarning`` (the
+silent-promotion trap this warning guards against doubles training
+memory without anyone noticing).
 """
 
 from __future__ import annotations
 
+import threading
+import warnings
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from .graph import OPS, active_trace, stable_sigmoid
+
 Arrayish = Union["Tensor", np.ndarray, float, int]
 
-__all__ = ["Tensor", "tensor", "zeros", "ones", "randn", "no_grad", "is_grad_enabled"]
+__all__ = [
+    "Tensor",
+    "tensor",
+    "zeros",
+    "ones",
+    "randn",
+    "no_grad",
+    "is_grad_enabled",
+    "apply",
+]
 
 
 class _GradMode:
@@ -79,6 +98,56 @@ def _as_array(value: Arrayish, dtype=np.float64) -> np.ndarray:
     return np.asarray(value, dtype=dtype)
 
 
+_FLOATS = (np.dtype(np.float32), np.dtype(np.float64))
+_promotion_warned = threading.Lock(), [False]
+
+
+def _warn_promotion_once() -> None:
+    lock, flag = _promotion_warned
+    with lock:
+        if flag[0]:
+            return
+        flag[0] = True
+    warnings.warn(
+        "mixed float32/float64 tensor operands promote to float64; cast "
+        "your inputs (or parameters) to one dtype to avoid silently "
+        "doubling training memory (warned once per process)",
+        RuntimeWarning,
+        stacklevel=4,
+    )
+
+
+def apply(op_name: str, inputs: Sequence["Tensor"], attrs: Optional[dict] = None) -> "Tensor":
+    """Apply a registry op eagerly (and record it into any active trace).
+
+    This is the single dispatch point of the tape: dtype normalization,
+    forward execution, grad linking and trace recording all happen here,
+    so every ``Tensor`` method and every :mod:`repro.nn.functional` free
+    function behaves identically.
+    """
+    op = OPS[op_name]
+    attrs = {} if attrs is None else attrs
+    arrays = tuple(t.data for t in inputs)
+    if len(arrays) > 1:
+        dtypes = {a.dtype for a in arrays}
+        if len(dtypes) > 1 and _FLOATS[0] in dtypes:
+            _warn_promotion_once()
+            arrays = tuple(
+                a.astype(np.float64) if a.dtype == _FLOATS[0] else a for a in arrays
+            )
+    data = op.forward(arrays, attrs)
+    out = Tensor(data)
+    if _GradMode.enabled and any(p.requires_grad for p in inputs):
+        out.requires_grad = True
+        out._parents = tuple(inputs)
+        out._op = op_name
+        out._attrs = attrs
+    trace = active_trace()
+    if trace is not None:
+        trace.record(op_name, inputs, attrs, out)
+    return out
+
+
 class Tensor:
     """A numpy array with reverse-mode autodiff support.
 
@@ -89,18 +158,35 @@ class Tensor:
     requires_grad:
         If True, gradients are accumulated into :attr:`grad` on
         :meth:`backward`.
+    dtype:
+        Optional explicit dtype.  By default float64, except float32
+        arrays, which keep their dtype (see the module docstring).
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __slots__ = (
+        "data",
+        "grad",
+        "requires_grad",
+        "_backward",
+        "_parents",
+        "_op",
+        "_attrs",
+        "name",
+    )
 
-    def __init__(self, data, requires_grad: bool = False, name: str = ""):
+    def __init__(self, data, requires_grad: bool = False, name: str = "", dtype=None):
         if isinstance(data, Tensor):
             data = data.data
-        self.data: np.ndarray = np.asarray(data, dtype=np.float64)
+        arr = np.asarray(data)
+        if dtype is None:
+            dtype = np.float32 if arr.dtype == np.float32 else np.float64
+        self.data: np.ndarray = np.asarray(arr, dtype=dtype)
         self.requires_grad: bool = bool(requires_grad) and _GradMode.enabled
         self.grad: Optional[np.ndarray] = None
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: Tuple["Tensor", ...] = ()
+        self._op: Optional[str] = None
+        self._attrs: dict = {}
         self.name = name
 
     # ------------------------------------------------------------------
@@ -155,19 +241,42 @@ class Tensor:
         parents: Sequence["Tensor"],
         backward: Callable[[np.ndarray], None],
     ) -> "Tensor":
+        """Build a tensor from a custom backward closure.
+
+        Escape hatch for ops outside the registry: still fully supported
+        in eager mode, but invisible to the IR — a closure op under an
+        active trace marks the trace unsupported and the compiler falls
+        back to eager execution.
+        """
         out = Tensor(data)
         if _GradMode.enabled and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = tuple(parents)
             out._backward = backward
+        trace = active_trace()
+        if trace is not None:
+            trace.record_unsupported("closure-based op via Tensor._make")
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
-        grad = _unbroadcast(np.asarray(grad, dtype=np.float64), self.data.shape)
+        grad = _unbroadcast(np.asarray(grad, dtype=self.data.dtype), self.data.shape)
         if self.grad is None:
             self.grad = grad.copy()
         else:
             self.grad += grad
+
+    def _vjps(self, grad: np.ndarray):
+        """Per-parent gradients of this node (registry rule or closure)."""
+        if self._backward is not None:
+            return self._backward(grad)
+        op = OPS[self._op]
+        return op.vjp(
+            grad,
+            self.data,
+            tuple(p.data for p in self._parents),
+            self._attrs,
+            tuple(p.requires_grad for p in self._parents),
+        )
 
     def backward(self, grad: Optional[np.ndarray] = None) -> None:
         """Backpropagate from this tensor through the recorded tape."""
@@ -177,7 +286,7 @@ class Tensor:
             if self.data.size != 1:
                 raise RuntimeError("grad must be provided for non-scalar outputs")
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
 
         # Topological sort (iterative DFS to survive deep graphs).
         order: List[Tensor] = []
@@ -201,20 +310,22 @@ class Tensor:
             node_grad = grads.pop(id(node), None)
             if node_grad is None:
                 continue
-            if node.requires_grad and node._backward is None:
+            if node.requires_grad and node._backward is None and node._op is None:
                 # Leaf tensor: accumulate into .grad.
                 node._accumulate(node_grad)
-            if node._backward is not None:
+            elif node._backward is not None or node._op is not None:
                 node._push_parent_grads(node_grad, grads)
 
     def _push_parent_grads(self, grad: np.ndarray, grads: dict) -> None:
-        parent_grads = self._backward(grad)
+        parent_grads = self._vjps(grad)
         if parent_grads is None:
             return
         for parent, pgrad in zip(self._parents, parent_grads):
             if pgrad is None or not parent.requires_grad:
                 continue
-            pgrad = _unbroadcast(np.asarray(pgrad, dtype=np.float64), parent.data.shape)
+            pgrad = _unbroadcast(
+                np.asarray(pgrad, dtype=parent.data.dtype), parent.data.shape
+            )
             key = id(parent)
             if key in grads:
                 grads[key] = grads[key] + pgrad
@@ -225,48 +336,34 @@ class Tensor:
     # Elementwise arithmetic
     # ------------------------------------------------------------------
     def __add__(self, other: Arrayish) -> "Tensor":
-        other_t = _ensure_tensor(other)
-        data = self.data + other_t.data
-        return Tensor._make(data, (self, other_t), lambda g: (g, g))
+        return apply("add", (self, _ensure_tensor(other, self)))
 
     __radd__ = __add__
 
     def __sub__(self, other: Arrayish) -> "Tensor":
-        other_t = _ensure_tensor(other)
-        data = self.data - other_t.data
-        return Tensor._make(data, (self, other_t), lambda g: (g, -g))
+        return apply("sub", (self, _ensure_tensor(other, self)))
 
     def __rsub__(self, other: Arrayish) -> "Tensor":
-        return _ensure_tensor(other).__sub__(self)
+        return _ensure_tensor(other, self).__sub__(self)
 
     def __mul__(self, other: Arrayish) -> "Tensor":
-        other_t = _ensure_tensor(other)
-        data = self.data * other_t.data
-        a, b = self.data, other_t.data
-        return Tensor._make(data, (self, other_t), lambda g: (g * b, g * a))
+        return apply("mul", (self, _ensure_tensor(other, self)))
 
     __rmul__ = __mul__
 
     def __truediv__(self, other: Arrayish) -> "Tensor":
-        other_t = _ensure_tensor(other)
-        data = self.data / other_t.data
-        a, b = self.data, other_t.data
-        return Tensor._make(data, (self, other_t), lambda g: (g / b, -g * a / (b * b)))
+        return apply("div", (self, _ensure_tensor(other, self)))
 
     def __rtruediv__(self, other: Arrayish) -> "Tensor":
-        return _ensure_tensor(other).__truediv__(self)
+        return _ensure_tensor(other, self).__truediv__(self)
 
     def __neg__(self) -> "Tensor":
-        return Tensor._make(-self.data, (self,), lambda g: (-g,))
+        return apply("neg", (self,))
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not np.isscalar(exponent):
             raise TypeError("only scalar exponents are supported")
-        data = self.data ** exponent
-        base = self.data
-        return Tensor._make(
-            data, (self,), lambda g: (g * exponent * base ** (exponent - 1),)
-        )
+        return apply("pow", (self,), {"exponent": exponent})
 
     # Comparison operators return plain boolean arrays (no gradient).
     def __gt__(self, other: Arrayish) -> np.ndarray:
@@ -285,61 +382,40 @@ class Tensor:
     # Elementwise functions
     # ------------------------------------------------------------------
     def exp(self) -> "Tensor":
-        data = np.exp(self.data)
-        return Tensor._make(data, (self,), lambda g: (g * data,))
+        return apply("exp", (self,))
 
     def log(self) -> "Tensor":
-        base = self.data
-        return Tensor._make(np.log(base), (self,), lambda g: (g / base,))
+        return apply("log", (self,))
 
     def sqrt(self) -> "Tensor":
-        data = np.sqrt(self.data)
-        return Tensor._make(data, (self,), lambda g: (g * 0.5 / data,))
+        return apply("sqrt", (self,))
 
     def abs(self) -> "Tensor":
-        sign = np.sign(self.data)
-        return Tensor._make(np.abs(self.data), (self,), lambda g: (g * sign,))
+        return apply("abs", (self,))
 
     def tanh(self) -> "Tensor":
-        data = np.tanh(self.data)
-        return Tensor._make(data, (self,), lambda g: (g * (1.0 - data * data),))
+        return apply("tanh", (self,))
 
     def sigmoid(self) -> "Tensor":
-        data = _stable_sigmoid(self.data)
-        return Tensor._make(data, (self,), lambda g: (g * data * (1.0 - data),))
+        return apply("sigmoid", (self,))
 
     def relu(self) -> "Tensor":
-        mask = self.data > 0
-        return Tensor._make(self.data * mask, (self,), lambda g: (g * mask,))
+        return apply("relu", (self,))
 
     def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
-        mask = np.where(self.data > 0, 1.0, negative_slope)
-        return Tensor._make(self.data * mask, (self,), lambda g: (g * mask,))
+        return apply("leaky_relu", (self,), {"negative_slope": negative_slope})
 
     def softplus(self) -> "Tensor":
-        # log(1 + exp(x)), numerically stable.
-        data = np.logaddexp(0.0, self.data)
-        sig = _stable_sigmoid(self.data)
-        return Tensor._make(data, (self,), lambda g: (g * sig,))
+        return apply("softplus", (self,))
 
     def clip(self, low: float, high: float) -> "Tensor":
-        mask = (self.data >= low) & (self.data <= high)
-        return Tensor._make(np.clip(self.data, low, high), (self,), lambda g: (g * mask,))
+        return apply("clip", (self,), {"low": low, "high": high})
 
     # ------------------------------------------------------------------
     # Reductions
     # ------------------------------------------------------------------
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
-        data = self.data.sum(axis=axis, keepdims=keepdims)
-        shape = self.data.shape
-
-        def backward(g: np.ndarray):
-            grad = g
-            if axis is not None and not keepdims:
-                grad = np.expand_dims(grad, axis=axis)
-            return (np.broadcast_to(grad, shape).copy(),)
-
-        return Tensor._make(data, (self,), backward)
+        return apply("sum", (self,), {"axis": axis, "keepdims": keepdims})
 
     def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
         if axis is None:
@@ -350,21 +426,7 @@ class Tensor:
         return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
 
     def max(self, axis=None, keepdims: bool = False) -> "Tensor":
-        data = self.data.max(axis=axis, keepdims=keepdims)
-        shape = self.data.shape
-
-        def backward(g: np.ndarray):
-            grad = g
-            full = data
-            if axis is not None and not keepdims:
-                grad = np.expand_dims(grad, axis=axis)
-                full = np.expand_dims(data, axis=axis)
-            mask = (self.data == full).astype(np.float64)
-            # Split gradient evenly among ties, matching subgradient convention.
-            counts = mask.sum(axis=axis, keepdims=True) if axis is not None else mask.sum()
-            return ((mask / counts) * grad * np.ones(shape),)
-
-        return Tensor._make(data, (self,), backward)
+        return apply("max", (self,), {"axis": axis, "keepdims": keepdims})
 
     def var(self, axis=None, keepdims: bool = False) -> "Tensor":
         mu = self.mean(axis=axis, keepdims=True)
@@ -382,18 +444,7 @@ class Tensor:
     # Linear algebra
     # ------------------------------------------------------------------
     def matmul(self, other: Arrayish) -> "Tensor":
-        other_t = _ensure_tensor(other)
-        a, b = self.data, other_t.data
-        data = a @ b
-
-        def backward(g: np.ndarray):
-            if a.ndim == 1 and b.ndim == 1:
-                return (g * b, g * a)
-            ga = g @ np.swapaxes(b, -1, -2) if b.ndim > 1 else np.outer(g, b)
-            gb = np.swapaxes(a, -1, -2) @ g if a.ndim > 1 else np.outer(a, g)
-            return (ga, gb)
-
-        return Tensor._make(data, (self, other_t), backward)
+        return apply("matmul", (self, _ensure_tensor(other, self)))
 
     __matmul__ = matmul
 
@@ -403,10 +454,7 @@ class Tensor:
     def reshape(self, *shape) -> "Tensor":
         if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
             shape = tuple(shape[0])
-        old_shape = self.data.shape
-        return Tensor._make(
-            self.data.reshape(shape), (self,), lambda g: (g.reshape(old_shape),)
-        )
+        return apply("reshape", (self,), {"shape": shape})
 
     def flatten(self) -> "Tensor":
         return self.reshape(-1)
@@ -416,57 +464,49 @@ class Tensor:
             axes = tuple(reversed(range(self.data.ndim)))
         elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
             axes = tuple(axes[0])
-        inverse = tuple(np.argsort(axes))
-        return Tensor._make(
-            self.data.transpose(axes), (self,), lambda g: (g.transpose(inverse),)
-        )
+        inverse = tuple(int(i) for i in np.argsort(axes))
+        return apply("transpose", (self,), {"axes": axes, "inverse": inverse})
 
     @property
     def T(self) -> "Tensor":
         return self.transpose()
 
     def __getitem__(self, idx) -> "Tensor":
-        data = self.data[idx]
-        shape = self.data.shape
-
-        def backward(g: np.ndarray):
-            full = np.zeros(shape, dtype=np.float64)
-            np.add.at(full, idx, g)
-            return (full,)
-
-        return Tensor._make(data, (self,), backward)
+        return apply("getitem", (self,), {"idx": idx})
 
     def pad2d(self, pad: int) -> "Tensor":
         """Zero-pad the last two axes symmetrically by ``pad``."""
         if pad == 0:
             return self
-        widths = [(0, 0)] * (self.data.ndim - 2) + [(pad, pad), (pad, pad)]
-        data = np.pad(self.data, widths)
-        slicer = tuple(
-            [slice(None)] * (self.data.ndim - 2) + [slice(pad, -pad), slice(pad, -pad)]
-        )
-        return Tensor._make(data, (self,), lambda g: (g[slicer],))
+        return apply("pad2d", (self,), {"pad": pad})
 
 
-def _ensure_tensor(value: Arrayish) -> Tensor:
-    return value if isinstance(value, Tensor) else Tensor(value)
+def _ensure_tensor(value: Arrayish, like: Optional[Tensor] = None) -> Tensor:
+    """Coerce ``value`` into a Tensor.
+
+    Non-tensor operands (python scalars, lists, raw arrays) adopt
+    ``like``'s dtype, so ``float32_tensor * 2.0`` stays float32 instead
+    of tripping the mixed-dtype promotion warning: dtype is a property
+    of *tensors*; only mixing two differently-typed tensors warns.
+    """
+    if isinstance(value, Tensor):
+        return value
+    if like is not None:
+        return Tensor(np.asarray(value, dtype=like.data.dtype))
+    return Tensor(value)
 
 
 def _stable_sigmoid(x: np.ndarray) -> np.ndarray:
-    out = np.empty_like(x, dtype=np.float64)
-    pos = x >= 0
-    out[pos] = 1.0 / (1.0 + np.exp(-x[pos]))
-    ex = np.exp(x[~pos])
-    out[~pos] = ex / (1.0 + ex)
-    return out
+    # Back-compat alias; the kernel lives in repro.nn.graph now.
+    return stable_sigmoid(x)
 
 
 # ----------------------------------------------------------------------
 # Free functions (graph-aware)
 # ----------------------------------------------------------------------
-def tensor(data, requires_grad: bool = False) -> Tensor:
+def tensor(data, requires_grad: bool = False, dtype=None) -> Tensor:
     """Create a :class:`Tensor` (convenience mirror of ``torch.tensor``)."""
-    return Tensor(data, requires_grad=requires_grad)
+    return Tensor(data, requires_grad=requires_grad, dtype=dtype)
 
 
 def zeros(*shape, requires_grad: bool = False) -> Tensor:
@@ -482,40 +522,35 @@ def randn(*shape, rng: Optional[np.random.Generator] = None, requires_grad: bool
     return Tensor(rng.standard_normal(shape), requires_grad=requires_grad)
 
 
+def _first_tensor(values) -> Optional[Tensor]:
+    """The dtype anchor among mixed tensor/raw operands (see
+    :func:`_ensure_tensor`): the first actual Tensor, if any."""
+    for value in values:
+        if isinstance(value, Tensor):
+            return value
+    return None
+
+
 def concatenate(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Concatenate tensors along ``axis`` with gradient support."""
-    tensors = [_ensure_tensor(t) for t in tensors]
-    data = np.concatenate([t.data for t in tensors], axis=axis)
-    sizes = [t.data.shape[axis] for t in tensors]
-    offsets = np.cumsum([0] + sizes)
-
-    def backward(g: np.ndarray):
-        out = []
-        for start, stop in zip(offsets[:-1], offsets[1:]):
-            slicer = [slice(None)] * g.ndim
-            slicer[axis] = slice(int(start), int(stop))
-            out.append(g[tuple(slicer)])
-        return tuple(out)
-
-    return Tensor._make(data, tensors, backward)
+    tensors = list(tensors)
+    like = _first_tensor(tensors)
+    tensors = [_ensure_tensor(t, like) for t in tensors]
+    return apply("concatenate", tuple(tensors), {"axis": axis})
 
 
 def stack(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     """Stack tensors along a new axis with gradient support."""
-    tensors = [_ensure_tensor(t) for t in tensors]
-    data = np.stack([t.data for t in tensors], axis=axis)
-
-    def backward(g: np.ndarray):
-        return tuple(np.take(g, i, axis=axis) for i in range(len(tensors)))
-
-    return Tensor._make(data, tensors, backward)
+    tensors = list(tensors)
+    like = _first_tensor(tensors)
+    tensors = [_ensure_tensor(t, like) for t in tensors]
+    return apply("stack", tuple(tensors), {"axis": axis})
 
 
 def where(condition: np.ndarray, a: Arrayish, b: Arrayish) -> Tensor:
     """Differentiable ``np.where`` (condition is a plain boolean array)."""
-    a_t, b_t = _ensure_tensor(a), _ensure_tensor(b)
+    like = _first_tensor((a, b))
+    a_t = _ensure_tensor(a, like)
+    b_t = _ensure_tensor(b, like)
     cond = np.asarray(condition, dtype=bool)
-    data = np.where(cond, a_t.data, b_t.data)
-    return Tensor._make(
-        data, (a_t, b_t), lambda g: (g * cond, g * (~cond))
-    )
+    return apply("where", (a_t, b_t), {"condition": cond})

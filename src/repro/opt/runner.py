@@ -97,6 +97,15 @@ class GridObserver:
         raise :class:`RunInterrupted` to abort the run here.
         """
 
+    def on_training(self, method: str, seed: int, info: dict) -> None:
+        """A model-based method finished one retraining round.
+
+        ``info`` is the plain dict the method handed to
+        :attr:`~repro.opt.simulator.CircuitSimulator.on_training`
+        (round index, epochs run/skipped, last losses, compiled-step
+        counters).  Purely observational — never raises into the run.
+        """
+
     def on_seed_finished(
         self, method: str, seed: int, record: RunRecord, resumed: bool
     ) -> None:
@@ -162,6 +171,9 @@ def _run_seed_grid(
             observer.on_seed_started(method_name, seed, replayed)
             simulator.on_evaluation = lambda evaluation: observer.on_evaluation(
                 method_name, seed, evaluation, simulator
+            )
+            simulator.on_training = lambda info: observer.on_training(
+                method_name, seed, info
             )
             # Checked at the start of *every* query (cache hits too), so
             # an interrupt cannot stall behind a hit-only stretch.

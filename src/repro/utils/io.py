@@ -20,7 +20,12 @@ import os
 import tempfile
 from typing import Any, Optional
 
-__all__ = ["ensure_parent_dir", "atomic_write_text", "atomic_write_json"]
+__all__ = [
+    "ensure_parent_dir",
+    "atomic_write_text",
+    "atomic_write_bytes",
+    "atomic_write_json",
+]
 
 
 def ensure_parent_dir(path: str) -> str:
@@ -44,6 +49,31 @@ def atomic_write_text(path: str, text: str) -> None:
     try:
         with os.fdopen(fd, "w") as handle:
             handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+def atomic_write_bytes(path: str, data: bytes) -> None:
+    """Write binary ``data`` to ``path`` atomically (temp + ``os.replace``).
+
+    The binary sibling of :func:`atomic_write_text`; used for ``.npz``
+    model/optimizer archives (serialize the archive to memory first,
+    then land it in one rename).
+    """
+    parent = ensure_parent_dir(path)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=parent, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(data)
             handle.flush()
             os.fsync(handle.fileno())
         os.replace(tmp_path, path)

@@ -447,3 +447,69 @@ class TestCLILifecycle:
         # one-liner, not a traceback
         assert main(["run", spec_path, "--out-dir", out]) == 2
         assert "already holds a run" in capsys.readouterr().err
+
+
+class TestTrainingCheckpointsInRunDir:
+    """Durable CircuitVAE runs checkpoint training epochs per cell, and
+    resume restores them instead of re-training (PR-5 satellite)."""
+
+    def _vae_spec(self, name):
+        return ExperimentSpec(
+            name=name,
+            task=TaskSpec(circuit_type="adder", n=8),
+            methods=(MethodSpec("CircuitVAE", params=_tiny_vae_params()),),
+            budget=24,
+            seeds=(0,),
+            curve_points=1,
+        )
+
+    def test_durable_run_writes_train_checkpoints_and_events(self, tmp_path):
+        from repro.api import TrainingRoundFinished
+
+        spec = self._vae_spec("train-ckpt")
+        out = str(tmp_path / "run")
+        with Session() as session:
+            handle = session.submit(spec, out_dir=out)
+            events = list(handle.events())
+            handle.result()
+        train_dir = os.path.join(
+            RunDirectory.open(out).cell_dir("CircuitVAE", 0), "train"
+        )
+        files = sorted(os.listdir(train_dir))
+        assert "round000.npz" in files and "round000.json" in files
+        rounds = [e for e in events if isinstance(e, TrainingRoundFinished)]
+        assert rounds and rounds[0].round == 0
+        assert rounds[0].epochs > 0 and rounds[0].epochs_skipped == 0
+        assert all(set(r.losses) == {"total", "reconstruction", "kl", "cost"}
+                   for r in rounds)
+
+    def test_resume_skips_completed_training_epochs(self, tmp_path):
+        spec = self._vae_spec("train-ckpt-resume")
+        with Session() as session:
+            reference = session.run(spec).records["CircuitVAE"][0]
+        ref_epochs = reference.telemetry["train_epochs"]
+        assert ref_epochs > 0
+        assert reference.telemetry["train_epochs_skipped"] == 0
+
+        out = str(tmp_path / "run")
+        with Session() as session:
+            handle = session.submit(
+                spec, out_dir=out, on_event=stop_after_checkpoints(16)
+            )
+            with pytest.raises(RunInterrupted):
+                handle.result()
+
+        with Session() as session:
+            result = session.resume(out).result()
+        record = result.records["CircuitVAE"][0]
+        assert_bit_identical(record, reference)
+        # The resumed attempt restored at least the first round's epochs
+        # from the interrupted attempt's checkpoints instead of
+        # re-training them.
+        assert record.telemetry["train_epochs_skipped"] > 0
+        assert record.telemetry["train_epochs"] < ref_epochs
+        assert (
+            record.telemetry["train_epochs"]
+            + record.telemetry["train_epochs_skipped"]
+            >= ref_epochs
+        )

@@ -1,5 +1,7 @@
 """Tests for VAE + cost-head training (repro.core.training)."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -8,6 +10,22 @@ from repro.core.dataset import CircuitDataset
 from repro.core.training import TrainConfig, train_model
 from repro.core.vae import CircuitVAEModel, VAEConfig
 from repro.prefix import random_graph
+
+
+def small_dataset(seed=0, size=40, n=8):
+    rng = np.random.default_rng(seed)
+    ds = CircuitDataset()
+    while len(ds) < size:
+        g = random_graph(n, rng, rng.random() * 0.6)
+        ds.add(g, float(g.node_count()))
+    return ds
+
+
+def small_model(seed=1):
+    return CircuitVAEModel(
+        VAEConfig(n=8, latent_dim=8, base_channels=4, hidden_dim=48),
+        np.random.default_rng(seed),
+    )
 
 
 @pytest.fixture(scope="module")
@@ -93,3 +111,193 @@ class TestTraining:
             return mu.numpy()
 
         assert not np.allclose(fit(True), fit(False))
+
+
+class TestCompiledTraining:
+    """The compiled graph executor vs the eager reference engine."""
+
+    def _fit(self, monkeypatch, compiled, epochs=6):
+        monkeypatch.setenv("REPRO_COMPILED_TRAIN", "1" if compiled else "0")
+        ds = small_dataset(seed=7)
+        model = small_model(seed=8)
+        stats = train_model(
+            model, ds, np.random.default_rng(9),
+            TrainConfig(epochs=epochs, batch_size=16),
+        )
+        return model, stats
+
+    def test_compiled_matches_eager_losses_to_1e10(self, monkeypatch):
+        """The acceptance-criterion equivalence contract."""
+        _, eager = self._fit(monkeypatch, compiled=False)
+        _, compiled = self._fit(monkeypatch, compiled=True)
+        assert not eager.compiled and compiled.compiled
+        for name in ("total", "reconstruction", "kl", "cost"):
+            np.testing.assert_allclose(
+                getattr(compiled, name), getattr(eager, name), rtol=1e-10, atol=1e-12
+            )
+
+    def test_compiled_matches_eager_parameters(self, monkeypatch):
+        m_eager, _ = self._fit(monkeypatch, compiled=False)
+        m_comp, _ = self._fit(monkeypatch, compiled=True)
+        for (name, p1), (_, p2) in zip(
+            m_eager.named_parameters(), m_comp.named_parameters()
+        ):
+            np.testing.assert_allclose(p2.data, p1.data, rtol=1e-9, atol=1e-11), name
+
+    def test_compile_counters_surface_in_stats(self, monkeypatch):
+        _, stats = self._fit(monkeypatch, compiled=True)
+        assert stats.compile_counters.get("traces", 0) == 1
+        assert stats.compile_counters.get("replays", 0) == stats.epochs_run * 2
+        assert stats.compile_counters.get("fused_ops", 0) > 0
+        assert stats.epochs_skipped == 0
+
+    def test_env_optout_forces_eager(self, monkeypatch):
+        _, stats = self._fit(monkeypatch, compiled=False, epochs=2)
+        assert stats.compiled is False
+        assert stats.compile_counters == {}
+
+    def test_compiled_step_reused_across_rounds(self, monkeypatch):
+        """One optimizer carried across train_model calls retraces nothing."""
+        monkeypatch.setenv("REPRO_COMPILED_TRAIN", "1")
+        ds = small_dataset(seed=10)
+        model = small_model(seed=11)
+        optimizer = nn.Adam(model.parameters(), lr=1e-3)
+        rng = np.random.default_rng(12)
+        cfg = TrainConfig(epochs=2, batch_size=16)
+        first = train_model(model, ds, rng, cfg, optimizer=optimizer)
+        second = train_model(model, ds, rng, cfg, optimizer=optimizer)
+        assert first.compile_counters.get("traces", 0) == 1
+        assert second.compile_counters.get("traces", 0) == 0
+        assert second.compile_counters.get("replays", 0) > 0
+
+
+class TestTrainingCheckpoints:
+    """Durable epoch checkpoints + exact resume (the Session.resume path)."""
+
+    CFG = TrainConfig(epochs=6, batch_size=16, checkpoint_every=2)
+
+    def _run(self, checkpoint_dir=None, interrupt_after=None, tag="round000"):
+        ds = small_dataset(seed=20)
+        model = small_model(seed=21)
+        optimizer = nn.Adam(model.parameters(), lr=1e-3)
+        rng = np.random.default_rng(22)
+        cfg = self.CFG if interrupt_after is None else TrainConfig(
+            epochs=interrupt_after, batch_size=16, checkpoint_every=2
+        )
+        stats = train_model(
+            model, ds, rng, cfg, optimizer=optimizer,
+            checkpoint_dir=checkpoint_dir, checkpoint_tag=tag,
+        )
+        return model, optimizer, rng, stats
+
+    def test_checkpoint_files_written(self, tmp_path):
+        ckpt = str(tmp_path / "train")
+        self._run(checkpoint_dir=ckpt)
+        assert os.path.exists(os.path.join(ckpt, "round000.npz"))
+        assert os.path.exists(os.path.join(ckpt, "round000.json"))
+
+    def test_completed_training_fully_skipped_on_rerun(self, tmp_path):
+        ckpt = str(tmp_path / "train")
+        model_a, _, rng_a, stats_a = self._run(checkpoint_dir=ckpt)
+        model_b, _, rng_b, stats_b = self._run(checkpoint_dir=ckpt)
+        assert stats_b.epochs_skipped == self.CFG.epochs
+        assert stats_b.epochs_run == 0
+        np.testing.assert_array_equal(stats_b.total, stats_a.total)
+        for (_, p1), (_, p2) in zip(
+            model_a.named_parameters(), model_b.named_parameters()
+        ):
+            np.testing.assert_array_equal(p1.data, p2.data)
+        # rng fast-forwarded to exactly where the full run left it.
+        assert rng_a.bit_generator.state == rng_b.bit_generator.state
+
+    def test_partial_checkpoint_resumes_bit_identically(self, tmp_path):
+        reference_model, _, reference_rng, reference_stats = self._run()
+        ckpt = str(tmp_path / "train")
+        # "Crash" after 4 of 6 epochs (checkpoint_every=2 makes epoch 4
+        # durable), then re-run the full schedule against the same dir.
+        self._run(checkpoint_dir=ckpt, interrupt_after=4)
+        # The resumed call uses the full 6-epoch config: its fingerprint
+        # differs from the 4-epoch one, so rewrite the meta to the real
+        # scenario — an interrupted 6-epoch run checkpointed at epoch 4.
+        import json
+        meta_path = os.path.join(ckpt, "round000.json")
+        with open(meta_path) as handle:
+            meta = json.load(handle)
+        meta["fingerprint"]["epochs"] = 6
+        with open(meta_path, "w") as handle:
+            json.dump(meta, handle)
+        model, _, rng, stats = self._run(checkpoint_dir=ckpt)
+        assert stats.epochs_skipped == 4
+        assert stats.epochs_run == 2
+        np.testing.assert_array_equal(stats.total, reference_stats.total)
+        for (_, p1), (_, p2) in zip(
+            reference_model.named_parameters(), model.named_parameters()
+        ):
+            np.testing.assert_array_equal(p1.data, p2.data)
+        assert rng.bit_generator.state == reference_rng.bit_generator.state
+
+    def test_fingerprint_mismatch_ignores_checkpoint(self, tmp_path):
+        ckpt = str(tmp_path / "train")
+        self._run(checkpoint_dir=ckpt)
+        ds = small_dataset(seed=20, size=30)  # different dataset size
+        model = small_model(seed=21)
+        stats = train_model(
+            model, ds, np.random.default_rng(22), self.CFG,
+            checkpoint_dir=ckpt, checkpoint_tag="round000",
+        )
+        assert stats.epochs_skipped == 0
+        assert stats.epochs_run == self.CFG.epochs
+
+    def test_corrupt_checkpoint_meta_ignored(self, tmp_path):
+        ckpt = str(tmp_path / "train")
+        self._run(checkpoint_dir=ckpt)
+        with open(os.path.join(ckpt, "round000.json"), "w") as handle:
+            handle.write("{ truncated")
+        _, _, _, stats = self._run(checkpoint_dir=ckpt)
+        assert stats.epochs_skipped == 0
+
+    def test_torn_checkpoint_pair_ignored(self, tmp_path):
+        """npz newer than json (crash between the two writes): ignore."""
+        import json
+        ckpt = str(tmp_path / "train")
+        self._run(checkpoint_dir=ckpt)
+        meta_path = os.path.join(ckpt, "round000.json")
+        with open(meta_path) as handle:
+            meta = json.load(handle)
+        meta["epoch"] = 2  # pretend the meta write never caught up
+        with open(meta_path, "w") as handle:
+            json.dump(meta, handle)
+        _, _, _, stats = self._run(checkpoint_dir=ckpt)
+        assert stats.epochs_skipped == 0
+        assert stats.epochs_run == self.CFG.epochs
+
+    def test_unapplicable_checkpoint_rolls_back_and_retrains(self, tmp_path):
+        """Fingerprint-matching checkpoint whose arrays no longer fit the
+        model must be ignored without half-restoring anything."""
+        import json
+        ckpt = str(tmp_path / "train")
+        self._run(checkpoint_dir=ckpt)
+        # Same parameter *count*, different architecture: hidden_dim 48
+        # -> latent 12 keeps num_parameters from distinguishing them? It
+        # does not need to: we force the fingerprint to match instead.
+        ds = small_dataset(seed=20)
+        model = small_model(seed=21)
+        optimizer = nn.Adam(model.parameters(), lr=1e-3)
+        before = {name: p.data.copy() for name, p in model.named_parameters()}
+        meta_path = os.path.join(ckpt, "round000.json")
+        with open(meta_path) as handle:
+            meta = json.load(handle)
+        # Corrupt the archive side: rename one parameter key so
+        # load_state_dict must reject it after the gates pass.
+        npz_path = os.path.join(ckpt, "round000.npz")
+        state = nn.load_state(npz_path)
+        first = next(name for name in state if name.startswith("param:"))
+        state["param:not.a.real.parameter"] = state.pop(first)
+        nn.save_state(state, npz_path)
+        stats = train_model(
+            model, ds, np.random.default_rng(22), self.CFG,
+            optimizer=optimizer, checkpoint_dir=ckpt, checkpoint_tag="round000",
+        )
+        assert stats.epochs_skipped == 0
+        assert stats.epochs_run == self.CFG.epochs
+        assert meta["epoch"] == self.CFG.epochs  # gates genuinely matched

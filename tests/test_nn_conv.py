@@ -11,7 +11,7 @@ from repro.nn.conv import (
     conv_transpose2d_forward,
 )
 
-from helpers import numerical_grad
+from helpers import gradcheck, numerical_grad
 
 
 def naive_conv2d(x, w, stride, padding):
@@ -100,6 +100,41 @@ class TestGradients:
         (out * out).sum().backward()
         np.testing.assert_allclose(xt.grad, numerical_grad(f, x), atol=1e-5)
         np.testing.assert_allclose(wt.grad, numerical_grad(f, w), atol=1e-5)
+
+    @pytest.mark.parametrize("compiled", [False, True])
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 0), (2, 1)])
+    def test_conv2d_gradcheck_helper_both_engines(self, compiled, stride, padding):
+        """Previously-untested (stride, padding) corners, eager + compiled."""
+        rng = np.random.default_rng(6)
+        x = nn.Tensor(rng.standard_normal((2, 2, 7, 7)), requires_grad=True)
+        w = nn.Tensor(rng.standard_normal((3, 2, 3, 3)) * 0.3, requires_grad=True)
+        gradcheck(
+            lambda a, ww: (F.conv2d(a, ww, stride=stride, padding=padding) ** 2).sum(),
+            x,
+            w,
+            compiled=compiled,
+            atol=5e-5,
+            rtol=5e-4,
+        )
+
+    @pytest.mark.parametrize("compiled", [False, True])
+    @pytest.mark.parametrize("stride,padding", [(1, 0), (1, 1), (2, 1)])
+    def test_conv_transpose2d_gradcheck_helper_both_engines(
+        self, compiled, stride, padding
+    ):
+        rng = np.random.default_rng(7)
+        x = nn.Tensor(rng.standard_normal((2, 3, 4, 4)), requires_grad=True)
+        w = nn.Tensor(rng.standard_normal((3, 2, 4, 4)) * 0.3, requires_grad=True)
+        gradcheck(
+            lambda a, ww: (
+                F.conv_transpose2d(a, ww, stride=stride, padding=padding) ** 2
+            ).sum(),
+            x,
+            w,
+            compiled=compiled,
+            atol=5e-5,
+            rtol=5e-4,
+        )
 
     def test_conv_bias_gradient(self):
         rng = np.random.default_rng(5)

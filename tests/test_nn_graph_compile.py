@@ -1,0 +1,282 @@
+"""Tests for the graph IR (repro.nn.graph) and compiler (repro.nn.compile)."""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.nn import losses
+from repro.nn.graph import OPS, Trace, active_trace
+from repro.nn.tensor import _promotion_warned
+
+
+class TestRegistry:
+    def test_ops_carry_vjp_rules_as_data(self):
+        for name, op in OPS.items():
+            assert callable(op.forward), name
+            assert callable(op.vjp), name
+
+    def test_eager_tensors_record_op_ids_not_closures(self):
+        a = nn.Tensor([1.0, 2.0], requires_grad=True)
+        out = (a * 3.0).exp()
+        assert out._op == "exp"
+        assert out._backward is None
+        assert out._parents[0]._op == "mul"
+
+    def test_backward_uses_registry_rules(self):
+        a = nn.Tensor([0.5, -1.5], requires_grad=True)
+        (a.relu() * 2.0).sum().backward()
+        np.testing.assert_allclose(a.grad, [2.0, 0.0])
+
+
+class TestTrace:
+    def test_records_nodes_with_parent_ids(self):
+        p = nn.Tensor([1.0, 2.0], requires_grad=True)
+        x = nn.Tensor([3.0, 4.0])
+        with Trace(params=[p], inputs=[x]) as tr:
+            out = (p * x + 1.0).sum()
+        kinds = [node.kind for node in tr.nodes]
+        assert kinds.count("param") == 1
+        assert kinds.count("input") == 1
+        assert kinds.count("constant") == 1  # the 1.0 literal
+        ops = [node.op for node in tr.nodes if node.kind == "op"]
+        assert ops == ["mul", "add", "sum"]
+        assert tr.tensor_nodes[id(out)] == tr.nodes[-1].id
+
+    def test_trace_is_scoped_and_thread_local(self):
+        assert active_trace() is None
+        with Trace() as tr:
+            assert active_trace() is tr
+        assert active_trace() is None
+
+    def test_closure_ops_mark_trace_unsupported(self):
+        a = nn.Tensor([1.0], requires_grad=True)
+        with Trace(params=[a]) as tr:
+            nn.Tensor._make(a.data * 2, (a,), lambda g: (g * 2,))
+        assert tr.unsupported
+
+    def test_compile_rejects_unsupported_trace(self):
+        a = nn.Tensor([1.0, 2.0], requires_grad=True)
+
+        def step():
+            doubled = nn.Tensor._make(a.data * 2, (a,), lambda g: (g * 2,))
+            return {"loss": doubled.sum()}
+
+        step_fn = nn.compile_train_step(step, [a])
+        with pytest.raises(nn.CompileUnsupported):
+            step_fn()
+
+
+class TestCompiledTrainStep:
+    def _mlp_setup(self, seed=5):
+        model = nn.MLP([6, 16, 16, 1], np.random.default_rng(seed))
+        opt = nn.Adam(model.parameters(), lr=1e-2)
+        return model, opt
+
+    def test_matches_eager_bitwise_on_mlp(self):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((32, 6))
+        Y = rng.standard_normal((32, 1))
+
+        m1, o1 = self._mlp_setup()
+        eager = []
+        for _ in range(8):
+            diff = m1(nn.Tensor(X)) - nn.Tensor(Y)
+            loss = (diff * diff).mean()
+            o1.zero_grad()
+            loss.backward()
+            nn.clip_grad_norm(m1.parameters(), 5.0)
+            o1.step()
+            eager.append(loss.item())
+
+        m2, o2 = self._mlp_setup()
+
+        def step_fn(x, y):
+            diff = m2(x) - y
+            return {"loss": (diff * diff).mean()}
+
+        step = nn.compile_train_step(step_fn, m2.parameters(), optimizer=o2, grad_clip=5.0)
+        compiled = [step(X, Y)["loss"] for _ in range(8)]
+        assert compiled == eager
+        for p1, p2 in zip(m1.parameters(), m2.parameters()):
+            np.testing.assert_array_equal(p1.data, p2.data)
+
+    def test_counters_fusion_and_arena(self):
+        m, o = self._mlp_setup()
+
+        def step_fn(x, y):
+            diff = m(x) - y
+            return {"loss": (diff * diff).mean()}
+
+        step = nn.compile_train_step(step_fn, m.parameters(), optimizer=o)
+        rng = np.random.default_rng(1)
+        X, Y = rng.standard_normal((16, 6)), rng.standard_normal((16, 1))
+        for _ in range(3):
+            step(X, Y)
+        stats = step.stats
+        assert stats.traces == 1
+        assert stats.replays == 3
+        assert stats.fused_chains >= 1
+        assert stats.buffers + stats.arena_slots > 0
+
+    def test_shape_guarded_replay_retraces_on_new_signature(self):
+        m, o = self._mlp_setup()
+
+        def step_fn(x, y):
+            diff = m(x) - y
+            return {"loss": (diff * diff).mean()}
+
+        step = nn.compile_train_step(step_fn, m.parameters(), optimizer=o)
+        rng = np.random.default_rng(2)
+        step(rng.standard_normal((8, 6)), rng.standard_normal((8, 1)))
+        step(rng.standard_normal((8, 6)), rng.standard_normal((8, 1)))
+        assert step.stats.traces == 1
+        step(rng.standard_normal((12, 6)), rng.standard_normal((12, 1)))
+        assert step.stats.traces == 2
+
+    def test_requires_loss_key_and_scalar_outputs(self):
+        a = nn.Tensor([1.0, 2.0], requires_grad=True)
+        step = nn.compile_train_step(lambda: {"nope": a.sum()}, [a])
+        with pytest.raises(nn.CompileUnsupported):
+            step()
+        vector = nn.compile_train_step(
+            lambda: {"loss": a.sum(), "vec": a * 2.0}, [a]
+        )
+        with pytest.raises(nn.CompileUnsupported):
+            vector()
+
+    def test_params_see_inplace_updates_between_replays(self):
+        """Replay reads parameter storage live — no stale weight copies."""
+        w = nn.Tensor([2.0], requires_grad=True)
+        step = nn.compile_train_step(lambda x: {"loss": (w * x).sum()}, [w])
+        assert step(np.array([3.0]))["loss"] == 6.0
+        w.data[...] = 5.0
+        assert step(np.array([3.0]))["loss"] == 15.0
+
+    def test_vae_losses_compiled_equals_eager(self):
+        """The real CircuitVAE step graph: conv encoder/decoder + 3 losses."""
+        from repro.core.vae import CircuitVAEModel, VAEConfig
+
+        rng = np.random.default_rng(3)
+        grids = (rng.random((8, 8, 8)) > 0.5).astype(float)
+        eps = rng.standard_normal((8, 6))
+        costs = rng.standard_normal(8)
+
+        def build():
+            return CircuitVAEModel(
+                VAEConfig(n=8, latent_dim=6, base_channels=4, hidden_dim=16),
+                np.random.default_rng(9),
+            )
+
+        m1 = build()
+        o1 = nn.Adam(m1.parameters(), lr=1e-3)
+        x_pad = m1._pad_grids(grids)
+        eager = []
+        for _ in range(3):
+            outs = m1.training_losses(
+                nn.Tensor(x_pad), nn.Tensor(grids), nn.Tensor(eps), nn.Tensor(costs),
+                beta=0.01, lam=10.0,
+            )
+            o1.zero_grad()
+            outs["loss"].backward()
+            nn.clip_grad_norm(m1.parameters(), 5.0)
+            o1.step()
+            eager.append({k: v.item() for k, v in outs.items()})
+
+        m2 = build()
+        o2 = nn.Adam(m2.parameters(), lr=1e-3)
+        step = nn.compile_train_step(
+            lambda x, t, e, c: m2.training_losses(x, t, e, c, beta=0.01, lam=10.0),
+            m2.parameters(),
+            optimizer=o2,
+            grad_clip=5.0,
+        )
+        compiled = [step(x_pad, grids, eps, costs) for _ in range(3)]
+        for e_step, c_step in zip(eager, compiled):
+            for key in ("loss", "reconstruction", "kl", "cost"):
+                assert abs(e_step[key] - c_step[key]) <= 1e-10 * max(
+                    1.0, abs(e_step[key])
+                )
+        assert step.stats.fast_kernels > 0
+        assert step.stats.fused_chains > 0
+
+
+class TestDtypeNormalization:
+    def _reset_warning(self):
+        _promotion_warned[1][0] = False
+
+    def test_float32_tensors_keep_their_dtype(self):
+        x = nn.Tensor(np.ones(3, dtype=np.float32))
+        assert x.dtype == np.float32
+        assert (x * 2.0).dtype == np.float32  # python scalar adopts f32
+        assert x.exp().dtype == np.float32
+
+    def test_mixed_dtype_promotes_to_float64_and_warns_once(self):
+        self._reset_warning()
+        a = nn.Tensor(np.ones(3, dtype=np.float32))
+        b = nn.Tensor(np.ones(3))
+        with pytest.warns(RuntimeWarning, match="mixed float32/float64"):
+            out = a + b
+        assert out.dtype == np.float64
+        # Second mixed op: silent (warned once per process).
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            _ = a * b
+
+    def test_gradients_follow_tensor_dtype(self):
+        self._reset_warning()
+        x = nn.Tensor(np.ones(4, dtype=np.float32), requires_grad=True)
+        (x * x).sum().backward()
+        assert x.grad.dtype == np.float32
+
+    def test_default_remains_float64(self):
+        assert nn.Tensor([1, 2, 3]).dtype == np.float64
+        assert nn.Tensor(np.ones(2, dtype=np.int64)).dtype == np.float64
+
+
+class TestCompilerRobustness:
+    def test_unexpected_compiler_errors_become_compile_unsupported(self):
+        """padding >= kernel once crashed the stride-1 dx kernel; any
+        such internal error must surface as CompileUnsupported so
+        train_model can fall back to eager."""
+        from repro.nn import functional as F
+
+        rng = np.random.default_rng(0)
+        x = nn.Tensor(rng.standard_normal((2, 2, 6, 6)), requires_grad=True)
+        w = nn.Tensor(rng.standard_normal((2, 2, 3, 3)) * 0.3, requires_grad=True)
+
+        def fn():
+            inner = F.conv2d(x, w, stride=1, padding=1)
+            return {"loss": (F.conv2d(inner, w, stride=1, padding=4) ** 2).sum()}
+
+        # Eager handles the same graph fine.
+        loss = fn()["loss"]
+        loss.backward()
+        assert x.grad is not None
+        x.zero_grad(); w.zero_grad()
+        step = nn.compile_train_step(fn, [x, w])
+        try:
+            step()
+        except nn.CompileUnsupported:
+            pass  # acceptable: rejected cleanly, eager fallback works
+        else:
+            # ... or it compiled successfully, in which case grads must
+            # match eager (the verify pass guarantees it).
+            assert step.stats.traces == 1
+        assert step.stats.fallbacks <= 1
+
+    def test_scalar_branches_adopt_tensor_dtype_in_free_functions(self):
+        """where/concatenate/stack: raw operands adopt the tensor dtype."""
+        _promotion_warned[1][0] = False
+        import warnings
+
+        from repro.nn.tensor import concatenate, stack, where
+
+        f32 = nn.Tensor(np.ones(3, dtype=np.float32))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert where(np.array([True, False, True]), 0.0, f32).dtype == np.float32
+            assert where(np.array([True, False, True]), f32, 0.0).dtype == np.float32
+            assert concatenate([f32, [1.0, 2.0]]).dtype == np.float32
+            assert stack([[1.0, 1.0, 1.0], f32]).dtype == np.float32
