@@ -1,6 +1,6 @@
 """``python -m repro`` — the command-line frontend over specs + sessions.
 
-Four subcommands:
+Five subcommands:
 
 ``run <spec.json>`` / ``run --resume <run_dir>``
     Load, validate and execute a declarative experiment spec; print the
@@ -13,6 +13,13 @@ Four subcommands:
 ``status <run_dir>``
     Inspect a run directory without touching it: overall lifecycle
     state plus a per-(method, seed) table of done/partial/pending cells.
+    ``--follow`` then tails the run's live span stream (``trace.jsonl``)
+    until the experiment root span lands or Ctrl-C.
+``report <run_dir | trace.jsonl>``
+    Post-hoc trace analysis: the hierarchical span tree with total/self
+    attribution, the top-N hottest span names, the stage-seconds
+    breakdown reproduced from the trace alone, and ``--perfetto`` to
+    export a ``chrome://tracing`` / Perfetto-loadable JSON.
 ``methods``
     List every registered method with its config fields and defaults
     (the vocabulary a spec's ``params`` may use).
@@ -32,6 +39,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -161,6 +169,90 @@ class _ProgressPrinter:
                 f"[{event.method} seed {event.seed}] finished "
                 f"({source}), best {best:.4f}"
             )
+
+
+def _resolve_trace_path(target: str) -> str:
+    """``report``'s argument: a run directory or a trace file directly."""
+    from ..obs.sink import TRACE_FILENAME
+
+    if os.path.isdir(target):
+        return os.path.join(target, TRACE_FILENAME)
+    return target
+
+
+def _print_report(args: argparse.Namespace) -> None:
+    from ..obs.report import (
+        build_tree,
+        coverage,
+        render_hot_stages,
+        render_tree,
+        stage_totals,
+    )
+    from ..obs.sink import export_perfetto, read_trace
+
+    path = _resolve_trace_path(args.target)
+    if not os.path.exists(path):
+        raise ValueError(
+            f"no trace at {path} (durable runs write one unless REPRO_TRACE=0)"
+        )
+    spans = read_trace(path)
+    if not spans:
+        raise ValueError(f"{path} holds no complete spans yet")
+    roots = build_tree(spans)
+    print(f"trace: {path}  ({len(spans)} spans)")
+    for root in roots:
+        if root.children:
+            print(
+                f"coverage: {coverage(root):.1%} of {root.name!r} "
+                f"({root.duration:.3f}s) covered by direct children"
+            )
+    print()
+    print(render_tree(roots, max_depth=args.max_depth, min_seconds=args.min_seconds))
+    print()
+    print(render_hot_stages(roots, top=args.top))
+    totals = stage_totals(spans)
+    if totals:
+        print("\nstage seconds (reproduced from imposed stage spans):")
+        for name, seconds in sorted(totals.items(), key=lambda kv: -kv[1]):
+            print(f"  {name:<24} {seconds:.3f}")
+    if args.perfetto is not None:
+        out = export_perfetto(path, args.perfetto or None)
+        print(f"\nperfetto trace written to {out}")
+
+
+def _follow_status(run_dir: RunDirectory, interval: float) -> None:
+    """Tail the run's span stream until the experiment root span lands.
+
+    The experiment root is the last span the run writes before closing
+    its sink, so seeing it finish means the run is over.  A terminal run
+    with no trace file (``REPRO_TRACE=0``) is reported instead of waited
+    on forever.
+    """
+    from ..obs.report import follow_trace
+
+    trace_path = run_dir.trace_path()
+    if not os.path.exists(trace_path) and run_dir.status in (
+        "finished",
+        "interrupted",
+        "failed",
+    ):
+        print(f"(no trace stream: {trace_path} does not exist)")
+        return
+    print(f"following {trace_path}  (Ctrl-C to stop)")
+    try:
+        for span in follow_trace(trace_path, poll_interval=interval):
+            duration_ms = (span.get("t1", 0.0) - span.get("t0", 0.0)) * 1e3
+            attrs = span.get("attrs") or {}
+            tags = " ".join(
+                f"{key}={attrs[key]}"
+                for key in ("method", "seed", "batch", "outcome", "status")
+                if key in attrs
+            )
+            print(f"{span.get('name', '?'):<20} {duration_ms:10.2f} ms  {tags}")
+            if span.get("name") == "experiment" and span.get("parent_id") is None:
+                return
+    except KeyboardInterrupt:
+        print("", file=sys.stderr)
 
 
 def _print_status(run_dir: RunDirectory) -> None:
@@ -297,6 +389,39 @@ def _build_parser() -> argparse.ArgumentParser:
 
     status_p = sub.add_parser("status", help="inspect a run directory")
     status_p.add_argument("run_dir", help="path to a run directory")
+    status_p.add_argument(
+        "--follow", action="store_true",
+        help="tail the run's live span stream (trace.jsonl) after the "
+        "status table, until the run finishes or Ctrl-C",
+    )
+    status_p.add_argument(
+        "--interval", type=float, default=0.5,
+        help="poll interval in seconds for --follow (default 0.5)",
+    )
+
+    report_p = sub.add_parser(
+        "report", help="analyze a run's trace: span tree + time attribution"
+    )
+    report_p.add_argument(
+        "target", help="a run directory (containing trace.jsonl) or a trace file"
+    )
+    report_p.add_argument(
+        "--top", type=int, default=10,
+        help="hot-stage table size (default 10)",
+    )
+    report_p.add_argument(
+        "--max-depth", type=int, default=None,
+        help="truncate the span tree below this depth",
+    )
+    report_p.add_argument(
+        "--min-seconds", type=float, default=0.0,
+        help="hide spans shorter than this from the tree",
+    )
+    report_p.add_argument(
+        "--perfetto", nargs="?", const="", default=None, metavar="OUT",
+        help="also export a Perfetto/chrome://tracing JSON "
+        "(default: <trace>.perfetto.json next to the trace)",
+    )
 
     methods_p = sub.add_parser("methods", help="list registered methods")
     methods_p.add_argument("--json", action="store_true", help="machine-readable")
@@ -393,7 +518,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     resume = getattr(args, "resume", None)
     try:
         if args.command == "status":
-            _print_status(RunDirectory.open(args.run_dir))
+            run_dir = RunDirectory.open(args.run_dir)
+            _print_status(run_dir)
+            if args.follow:
+                _follow_status(run_dir, args.interval)
+            return 0
+        if args.command == "report":
+            _print_report(args)
             return 0
         if args.command == "run":
             if resume is not None:

@@ -65,6 +65,9 @@ class ExperimentStarted(RunEvent):
     seeds: Tuple[int, ...]
     #: True when this run continues a previous run directory.
     resumed: bool = False
+    #: the run's ``trace.jsonl`` when tracing is active, else None
+    #: (in-memory runs, ``REPRO_TRACE=0``).
+    trace_path: Optional[str] = None
 
 
 @dataclass(frozen=True)

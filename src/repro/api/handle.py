@@ -30,6 +30,8 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..engine.cache import task_fingerprint
 from ..engine.telemetry import snapshot_delta
+from ..obs.sink import TraceSink
+from ..obs.trace import Tracer
 from ..opt.results import RunRecord
 from ..opt.runner import GridObserver, RunInterrupted, _run_seed_grid
 from .events import (
@@ -48,6 +50,19 @@ __all__ = ["RunHandle"]
 
 #: queue terminator — strictly after the ExperimentFinished event.
 _SENTINEL = object()
+
+_ENV_TRACE = "REPRO_TRACE"
+
+
+def _tracing_enabled() -> bool:
+    """Whether durable runs stream spans to ``trace.jsonl``.
+
+    Default on — tracing costs <5% on a tiny spec (see
+    ``benchmarks/bench_obs_overhead.py``) and buys full post-hoc
+    wall-clock attribution; ``REPRO_TRACE=0`` opts out.  In-memory runs
+    (no run directory) never trace: there is nowhere durable to stream.
+    """
+    return os.environ.get(_ENV_TRACE, "").strip() != "0"
 
 
 class _StreamingGridObserver(GridObserver):
@@ -336,9 +351,39 @@ class RunHandle:
         from .session import ExperimentResult, _sum_telemetry
 
         status = "failed"
+        # Durable runs trace by default: spans stream to the run
+        # directory's trace.jsonl through a process-ambient tracer, and
+        # the whole grid lives under one "experiment" root span that
+        # doubles as the default parent for parallel-seed threads.
+        sink = tracer = activation = root = None
+        if self.run_dir is not None and _tracing_enabled():
+            try:
+                sink = TraceSink(self.run_dir.trace_path())
+                tracer = Tracer(sink=sink)
+                activation = tracer.activate()
+                activation.__enter__()
+            except (OSError, RuntimeError):
+                # Unwritable directory, or another traced run is already
+                # active in this process: run untraced rather than fail.
+                if sink is not None:
+                    sink.close()
+                sink = tracer = activation = None
         try:
             if self.run_dir is not None:
                 self.run_dir.set_status("running")
+            if tracer is not None:
+                root = tracer.span(
+                    "experiment",
+                    attrs={
+                        "run_id": self.run_id,
+                        "budget": self.spec.budget,
+                        "methods": [m.display_name for m, _, _ in self._resolved],
+                        "seeds": list(self._seeds),
+                        "resumed": self._resumed,
+                    },
+                    default=True,
+                )
+                root.__enter__()
             self._emit(
                 ExperimentStarted(
                     run_id=self.run_id,
@@ -347,6 +392,9 @@ class RunHandle:
                     methods=tuple(m.display_name for m, _, _ in self._resolved),
                     seeds=tuple(self._seeds),
                     resumed=self._resumed,
+                    trace_path=(
+                        self.run_dir.trace_path() if tracer is not None else None
+                    ),
                 )
             )
             observer = _StreamingGridObserver(self)
@@ -377,6 +425,9 @@ class RunHandle:
                     ]
                 ),
                 run_dir=self.run_dir_path,
+                trace_path=(
+                    self.run_dir.trace_path() if tracer is not None else None
+                ),
             )
             if self.run_dir is not None:
                 self.run_dir.write_final_records(result.all_records())
@@ -389,6 +440,16 @@ class RunHandle:
             status = "failed"
         finally:
             self._status = status
+            # Close the trace before announcing the terminal status: a
+            # consumer reacting to ExperimentFinished must find the
+            # root span already durable in trace.jsonl.
+            if root is not None:
+                root.set_attr("status", status)
+                root.finish()
+            if activation is not None:
+                activation.__exit__(None, None, None)
+            if sink is not None:
+                sink.close()
             if self.run_dir is not None:
                 # Nothing here may stop the terminal event + sentinel
                 # from reaching the queue — a consumer would hang on a

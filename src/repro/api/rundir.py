@@ -7,6 +7,8 @@ resumable.  Layout::
         spec.json                     the ExperimentSpec (atomic)
         run.json                      {format, run_id, status} (atomic)
         records.json                  final combined records (atomic)
+        trace.jsonl                   span stream (appended + flushed per
+                                      span; absent with REPRO_TRACE=0)
         cells/<method>--seed<N>/
             meta.json                 {method, seed} (human-readable)
             history.jsonl             evaluation trail, appended + flushed
@@ -97,6 +99,7 @@ class RunDirectory:
     RUN_FILE = "run.json"
     RECORDS_FILE = "records.json"
     CELLS_DIR = "cells"
+    TRACE_FILE = "trace.jsonl"
 
     def __init__(self, path: str) -> None:
         self.path = os.path.abspath(path)
@@ -161,6 +164,12 @@ class RunDirectory:
 
     def records_path(self) -> str:
         return os.path.join(self.path, self.RECORDS_FILE)
+
+    def trace_path(self) -> str:
+        """The run's span stream (``trace.jsonl``; appended + flushed by
+        the active :class:`~repro.obs.sink.TraceSink`, may not exist for
+        runs executed with ``REPRO_TRACE=0``)."""
+        return os.path.join(self.path, self.TRACE_FILE)
 
     def _lock_path(self) -> str:
         return os.path.join(self.path, "lock.json")

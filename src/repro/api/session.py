@@ -86,6 +86,10 @@ class ExperimentResult:
     #: the durable run directory this result was produced in (None for
     #: in-memory runs).
     run_dir: Optional[str] = None
+    #: the run's ``trace.jsonl`` when hierarchical tracing was active
+    #: (durable runs unless ``REPRO_TRACE=0``); feed it to
+    #: ``python -m repro report`` or :mod:`repro.obs.report`.
+    trace_path: Optional[str] = None
 
     def budgets(self) -> List[int]:
         """The curve ladder of the spec (``budget_ladder``)."""

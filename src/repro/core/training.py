@@ -41,12 +41,14 @@ from __future__ import annotations
 
 import json
 import os
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from .. import nn
+from ..obs import trace
 from ..utils.io import atomic_write_json
 from .dataset import CircuitDataset
 from .vae import CircuitVAEModel
@@ -83,6 +85,12 @@ class TrainStats:
     #: compile/replay/fusion counter *deltas* from this call
     #: (:class:`repro.nn.CompileStats` keys), empty when eager.
     compile_counters: Dict[str, int] = field(default_factory=dict)
+    #: wall-clock of each compiled-step replay in this call (seconds);
+    #: empty when every step ran eager.
+    replay_seconds: List[float] = field(default_factory=list)
+    #: per-kernel replay-second *deltas* (``fwd:<op>`` / ``bwd:<op>``)
+    #: from this call; populated only under ``REPRO_PROFILE=1``.
+    kernel_seconds: Dict[str, float] = field(default_factory=dict)
 
     def last(self) -> Dict[str, float]:
         return {
@@ -322,9 +330,11 @@ def train_model(
 
     compiled_step = step_obj = None
     counters_before: Dict[str, int] = {}
+    kernels_before: Dict[str, float] = {}
     if _use_compiled_train():
         step_obj = compiled_step = _compiled_step_for(model, optimizer, config)
         counters_before = step_obj.stats.as_dict()
+        kernels_before = step_obj.kernel_seconds()
 
     latent_dim = model.config.latent_dim
     batch = min(config.batch_size, len(dataset))
@@ -349,7 +359,9 @@ def train_model(
             values = None
             if compiled_step is not None:
                 try:
+                    step_start = time.perf_counter()
                     values = compiled_step(x_pad, grids, eps, batch_targets)
+                    stats.replay_seconds.append(time.perf_counter() - step_start)
                 except nn.CompileUnsupported:
                     # Permanent fallback for this call: the eager tape is
                     # always correct, and retrying the trace every step
@@ -399,6 +411,12 @@ def train_model(
             for name in after
             if after[name] - counters_before.get(name, 0) != 0
         }
+        kernels_after = step_obj.kernel_seconds()
+        stats.kernel_seconds = {
+            label: kernels_after[label] - kernels_before.get(label, 0.0)
+            for label in kernels_after
+            if kernels_after[label] - kernels_before.get(label, 0.0) > 0.0
+        }
     return stats
 
 
@@ -421,6 +439,18 @@ def report_training_round(simulator, stats: TrainStats, round_index: int) -> Non
         telemetry.add("train_replays", counters.get("replays", 0))
         telemetry.add("train_fused_kernels", counters.get("fused_ops", 0))
         telemetry.add("train_fallbacks", counters.get("fallbacks", 0))
+        for seconds in stats.replay_seconds:
+            telemetry.observe_latency("train_step_replay", seconds)
+        # REPRO_PROFILE=1 only: fold the round's per-kernel replay
+        # seconds into the stage timers and emit matching
+        # imposed-duration spans, so trace-derived stage totals keep
+        # reproducing ``stage_seconds`` even for the kernel breakdown.
+        for label, seconds in sorted(stats.kernel_seconds.items()):
+            name = "train_kernel:" + label
+            telemetry.add_stage_time(name, seconds)
+            span = trace.start_span(name, attrs={"stage": True})
+            span.set_attr("round", round_index)
+            span.finish(elapsed=seconds)
     notify = getattr(simulator, "on_training", None)
     if notify is not None:
         notify(

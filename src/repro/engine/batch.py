@@ -25,6 +25,7 @@ from typing import List, Optional, Union
 
 import numpy as np
 
+from ..obs import trace
 from ..opt.simulator import BudgetExhausted, CircuitSimulator, Evaluation
 from ..prefix.graph import PrefixGraph
 
@@ -96,7 +97,9 @@ class EvalBatch:
         submission order — the same contract as ``query_many``.  Idempotent.
         """
         if not self._gathered:
-            plan = self.simulator.query_plan(self._designs)
+            with trace.span("gather") as span:
+                span.set_attr("submitted", len(self._designs))
+                plan = self.simulator.query_plan(self._designs)
             for future, evaluation in zip(self._futures, plan):
                 future._resolve(evaluation)
             self._gathered = True

@@ -39,6 +39,8 @@ import warnings
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
+from ..obs import trace
+
 __all__ = ["task_fingerprint", "EvaluationCache", "default_cache_dir"]
 
 #: (area_um2, delay_ns) — everything synthesis produces that Evaluation needs.
@@ -143,16 +145,23 @@ class EvaluationCache:
         path = self._path(fingerprint)
         if not os.path.exists(path):
             return
-        offsets = self._disk_offsets.setdefault(fingerprint, {})
-        position = 0
-        with open(path, "rb") as handle:
-            for raw in handle:
-                parsed = self._parse_line(raw)
-                if parsed is not None:  # skip crashed-writer truncation
-                    key, metrics = parsed
-                    offsets[key] = position  # last record wins
-                    self._insert(fingerprint, key, metrics, from_disk=True)
-                position += len(raw)
+        # Disk-shard loads are the engine's only bulk cache I/O — worth a
+        # span of their own when a run is traced (near-free otherwise).
+        with trace.span("cache_load") as span:
+            span.set_attr("fingerprint", fingerprint[:16])
+            offsets = self._disk_offsets.setdefault(fingerprint, {})
+            position = 0
+            loaded = 0
+            with open(path, "rb") as handle:
+                for raw in handle:
+                    parsed = self._parse_line(raw)
+                    if parsed is not None:  # skip crashed-writer truncation
+                        key, metrics = parsed
+                        offsets[key] = position  # last record wins
+                        self._insert(fingerprint, key, metrics, from_disk=True)
+                        loaded += 1
+                    position += len(raw)
+            span.set_attr("entries", loaded)
 
     @staticmethod
     def _parse_line(raw: bytes):

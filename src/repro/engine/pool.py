@@ -28,6 +28,7 @@ and the pool degrades to serial execution if process creation fails
 from __future__ import annotations
 
 import functools
+import itertools
 import multiprocessing
 import os
 import sys
@@ -35,6 +36,8 @@ import threading
 from typing import List, Optional, Sequence, Tuple
 
 from ..circuits.task import CircuitTask
+from ..obs import trace
+from ..obs.trace import SpanContext, Tracer
 from ..prefix.graph import PrefixGraph
 
 __all__ = ["SynthesisPool", "default_worker_count", "vectorized_enabled"]
@@ -73,6 +76,52 @@ def _synth_many_job(task: CircuitTask, graphs: Sequence[PrefixGraph]) -> List[Me
         (result.area_um2, result.delay_ns)
         for result in task.evaluate_many(graphs)
     ]
+
+
+# -- traced worker entry points -----------------------------------------
+# When the parent run is traced, each work item ships its parent span
+# context (a picklable (trace_id, span_id) pair); the worker records its
+# spans into a collecting Tracer and ships the dicts back alongside the
+# metrics, and the parent re-emits them into its sink (Tracer.emit_raw).
+# Span ids are prefixed per (worker pid, job) so they never collide with
+# the parent's or another worker's inside one trace file.
+
+_WORKER_JOB_SEQ = itertools.count(1)
+
+
+def _worker_tracer(parent_ctx: Optional[SpanContext], trace_id: str) -> Tracer:
+    trace.reset_in_child()  # drop any fork-inherited ambient tracer
+    return Tracer(
+        collect=True,
+        trace_id=trace_id,
+        id_prefix=f"w{os.getpid():x}j{next(_WORKER_JOB_SEQ):x}-",
+    )
+
+
+def _traced_synth_job(
+    task: CircuitTask,
+    parent_ctx: Optional[SpanContext],
+    trace_id: str,
+    graph: PrefixGraph,
+) -> Tuple[Metrics, List[dict]]:
+    tracer = _worker_tracer(parent_ctx, trace_id)
+    with tracer.span("synthesize", parent=parent_ctx) as span:
+        span.set_attr("graph", graph.key().hex()[:16])
+        metrics = _synth_job(task, graph)
+    return metrics, tracer.drain()
+
+
+def _traced_synth_many_job(
+    task: CircuitTask,
+    parent_ctx: Optional[SpanContext],
+    trace_id: str,
+    graphs: Sequence[PrefixGraph],
+) -> Tuple[List[Metrics], List[dict]]:
+    tracer = _worker_tracer(parent_ctx, trace_id)
+    with tracer.span("synthesize_chunk", parent=parent_ctx) as span:
+        span.set_attr("chunk", len(graphs))
+        metrics = _synth_many_job(task, graphs)
+    return metrics, tracer.drain()
 
 
 class SynthesisPool:
@@ -163,8 +212,20 @@ class SynthesisPool:
                         if size:
                             chunks.append(graphs[start : start + size])
                             start += size
-                    job = functools.partial(_synth_many_job, task)
+                    tracer = trace.current_tracer()
                     try:
+                        if tracer is not None:
+                            job = functools.partial(
+                                _traced_synth_many_job,
+                                task,
+                                tracer.current_context(),
+                                tracer.trace_id,
+                            )
+                            pairs = pool.map(job, chunks)
+                            for _, spans in pairs:
+                                tracer.emit_raw(spans)
+                            return [m for part, _ in pairs for m in part]
+                        job = functools.partial(_synth_many_job, task)
                         parts = pool.map(job, chunks)
                         return [metrics for part in parts for metrics in part]
                     except (OSError, RuntimeError):
@@ -177,9 +238,21 @@ class SynthesisPool:
             if pool is not None:
                 # partial pickles the task once per chunk (not per graph);
                 # the task's cell library dwarfs a packed grid.
-                job = functools.partial(_synth_job, task)
                 chunksize = max(1, len(graphs) // (self.workers * 4))
+                tracer = trace.current_tracer()
                 try:
+                    if tracer is not None:
+                        job = functools.partial(
+                            _traced_synth_job,
+                            task,
+                            tracer.current_context(),
+                            tracer.trace_id,
+                        )
+                        pairs = pool.map(job, graphs, chunksize=chunksize)
+                        for _, spans in pairs:
+                            tracer.emit_raw(spans)
+                        return [metrics for metrics, _ in pairs]
+                    job = functools.partial(_synth_job, task)
                     return pool.map(job, graphs, chunksize=chunksize)
                 except (OSError, RuntimeError):
                     with self._pool_lock:

@@ -32,15 +32,22 @@ eliminates physical synthesis work, never paper-semantics accounting.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..circuits.task import CircuitTask
+from ..obs import trace
 from ..opt.simulator import CircuitSimulator, Evaluation
 from ..prefix.graph import PrefixGraph
 from ..synth.cost import cost_from_metrics
 from .cache import EvaluationCache, default_cache_dir, task_fingerprint
 from .pool import SynthesisPool
 from .telemetry import EngineTelemetry, stage_all
+
+
+def _graph_tag(graph: PrefixGraph) -> str:
+    """Short printable graph identity for span attributes."""
+    return graph.key().hex()[:16]
 
 __all__ = ["EvaluationEngine", "EngineSimulator"]
 
@@ -107,16 +114,41 @@ class EvaluationEngine:
         if fingerprint is None:
             fingerprint = task_fingerprint(task)
 
+        with trace.span("engine_evaluate") as span:
+            span.set_attr("batch", len(graphs))
+            return self._evaluate(task, graphs, sinks, fingerprint, span)
+
+    def _evaluate(
+        self,
+        task: CircuitTask,
+        graphs: Sequence[PrefixGraph],
+        sinks: List[EngineTelemetry],
+        fingerprint: str,
+        span,
+    ) -> List[Tuple[float, float, float]]:
+        """:meth:`evaluate`'s body, under an ``engine_evaluate`` span
+        (the shared no-op span when tracing is off)."""
         metrics: List[Optional[Metrics]] = [None] * len(graphs)
         misses: List[int] = []
+        lookup_start = time.perf_counter()
         for i, graph in enumerate(graphs):
             hit = self.cache.get_with_origin(fingerprint, graph.key())
             if hit is not None:
                 metrics[i], origin = hit
+                counter = "memory_hits" if origin == "memory" else "disk_hits"
+                span.add_counter(counter)
                 for sink in sinks:
-                    sink.add("memory_hits" if origin == "memory" else "disk_hits")
+                    sink.add(counter)
             else:
                 misses.append(i)
+        lookup_elapsed = time.perf_counter() - lookup_start
+        for sink in sinks:
+            sink.observe_latency("cache_lookup", lookup_elapsed)
+        span.set_attr(
+            "outcome",
+            "hit" if not misses
+            else ("miss" if len(misses) == len(graphs) else "partial"),
+        )
 
         if misses:
             # Claim each missing key or find the thread already working on
@@ -144,6 +176,7 @@ class EvaluationEngine:
                         hit = self.cache.get(fingerprint, graphs[i].key())
                         if hit is not None:
                             metrics[i] = hit
+                            span.add_counter("inflight_hits")
                             for sink in sinks:
                                 sink.add("inflight_hits")
                         else:
@@ -162,6 +195,7 @@ class EvaluationEngine:
                                 )
                         # Counted after the batch returns, so a raised
                         # synthesis doesn't skew hit-rate/throughput.
+                        span.add_counter("synth_calls", len(still_owned))
                         for sink in sinks:
                             sink.add("synth_calls", len(still_owned))
                             sink.add("batches")
@@ -290,9 +324,16 @@ class EngineSimulator(CircuitSimulator):
     def query(self, design) -> Evaluation:
         self.telemetry.add("queries")
         graph = self.canonicalize(design)
-        if graph.key() in self._cache:
+        run_hit = graph.key() in self._cache
+        if run_hit:
             self.telemetry.add("run_hits")
-        return super().query(graph)
+        if not trace.active():
+            return super().query(graph)
+        with trace.span("evaluate") as span:
+            span.set_attr("graph", _graph_tag(graph))
+            span.set_attr("run_hit", run_hit)
+            span.add_counter("queries")
+            return super().query(graph)
 
     def query_plan(self, designs) -> List[Optional[Evaluation]]:
         """Batched planner with serial-identical semantics (see module doc).
@@ -307,6 +348,11 @@ class EngineSimulator(CircuitSimulator):
             self.check_abort()
         self.telemetry.add("queries", len(designs))
 
+        with trace.span("evaluate_batch") as batch_span:
+            return self._query_plan(designs, batch_span)
+
+    def _query_plan(self, designs, batch_span) -> List[Optional[Evaluation]]:
+        """:meth:`query_plan`'s body, under an ``evaluate_batch`` span."""
         HIT, PENDING, REFUSED = 0, 1, 2
         slots: List[Tuple[int, object]] = []
         scheduled: List[PrefixGraph] = []
@@ -331,6 +377,16 @@ class EngineSimulator(CircuitSimulator):
             scheduled_keys.add(key)
             scheduled.append(graph)
             slots.append((PENDING, key))
+
+        if trace.active():
+            batch_span.set_attr("batch", len(designs))
+            batch_span.set_attr("scheduled", len(scheduled))
+            batch_span.set_attr(
+                "run_hits", sum(1 for kind, _ in slots if kind == HIT)
+            )
+            batch_span.set_attr(
+                "refused", sum(1 for kind, _ in slots if kind == REFUSED)
+            )
 
         for graph, (cost, area_um2, delay_ns) in zip(
             scheduled,

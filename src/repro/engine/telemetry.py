@@ -8,23 +8,42 @@ owns a per-run instance whose snapshot lands in
 bench can report cache hit-rates and synthesis throughput alongside the
 paper's sample-efficiency numbers.
 
-This module is deliberately dependency-free (no ``repro`` imports) so the
-rest of the codebase — core, baselines — can record stage timings without
-creating import cycles.
+Since the :mod:`repro.obs` subsystem landed, the counters are cells in a
+:class:`~repro.obs.metrics.MetricsRegistry` (exposed as ``.metrics``):
+attribute reads, ``add()`` and ``as_dict()`` are unchanged in shape, but
+the registry additionally keeps per-stage latency *histograms* (one
+observation per timed call) and guards every snapshot with a single
+registry-wide lock, so ``as_dict()`` — including its derived
+``hit_rate``/``synth_throughput`` ratios — is computed from one atomic
+snapshot.  The :func:`stage`/:func:`stage_all` helpers also emit
+:mod:`repro.obs.trace` spans (marked ``attrs.stage``) whose durations
+are *imposed* from the same single wall-clock measurement that feeds
+``stage_seconds``, so a trace-derived report reproduces the engine's
+stage totals exactly.
+
+This module only imports the stdlib-only :mod:`repro.obs` cores (no
+engine/core imports), so the rest of the codebase — core, baselines —
+can record stage timings without creating import cycles.
 """
 
 from __future__ import annotations
 
-import threading
 import time
 from contextlib import contextmanager
 from typing import Dict, Iterator, Optional
 
-__all__ = ["EngineTelemetry", "stage", "snapshot_delta"]
+from ..obs import trace
+from ..obs.metrics import MetricsRegistry
+
+__all__ = ["EngineTelemetry", "stage", "stage_all", "snapshot_delta"]
 
 #: ratio fields of :meth:`EngineTelemetry.as_dict` — meaningless to
 #: difference, so :func:`snapshot_delta` drops them.
 _DERIVED_KEYS = ("hit_rate", "synth_throughput")
+
+#: shared attrs dict for stage spans (Span copies it; never mutated) —
+#: a module constant so the tracing-off path allocates nothing.
+_STAGE_ATTRS = {"stage": True}
 
 
 def snapshot_delta(before: Dict, after: Dict) -> Dict:
@@ -120,72 +139,111 @@ class EngineTelemetry:
     )
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
-        for name in self._COUNTERS:
-            setattr(self, name, 0)
+        self.metrics = MetricsRegistry()
+        #: every instrument shares the registry lock, so multi-counter
+        #: snapshots (and the derived ratios computed from them) are
+        #: atomic with respect to concurrent ``add`` calls.
+        self._lock = self.metrics.lock
+        self._counter_cells = {
+            name: self.metrics.counter(name) for name in self._COUNTERS
+        }
         self.stage_seconds: Dict[str, float] = {}
         self.stage_calls: Dict[str, int] = {}
+
+    def __getattr__(self, name: str):
+        # counters read straight from their registry cells; everything
+        # else is a real attribute (this only fires on misses).
+        cells = self.__dict__.get("_counter_cells")
+        if cells is not None and name in cells:
+            return cells[name].value
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}"
+        )
 
     # ------------------------------------------------------------------
     def add(self, counter: str, amount: int = 1) -> None:
         """Atomically bump one of the named counters."""
-        if counter not in self._COUNTERS:
+        cell = self._counter_cells.get(counter)
+        if cell is None:
             raise KeyError(f"unknown telemetry counter {counter!r}")
-        with self._lock:
-            setattr(self, counter, getattr(self, counter) + amount)
+        cell.add(amount)
 
     def add_stage_time(self, name: str, seconds: float, calls: int = 1) -> None:
         with self._lock:
             self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + seconds
             self.stage_calls[name] = self.stage_calls.get(name, 0) + calls
+            if calls == 1:
+                # single timed call -> one latency observation
+                self.metrics.histogram("stage_latency:" + name).observe(seconds)
+
+    def observe_latency(self, name: str, seconds: float) -> None:
+        """One latency observation into a named registry histogram
+        (cache lookups, train-step replays, ...)."""
+        self.metrics.histogram(name).observe(seconds)
 
     @contextmanager
     def time(self, name: str) -> Iterator[None]:
         """Context manager charging wall-clock to stage ``name``."""
-        start = time.perf_counter()
-        try:
+        with stage(self, name):
             yield
-        finally:
-            self.add_stage_time(name, time.perf_counter() - start)
 
     # ------------------------------------------------------------------
     @property
     def cache_hits(self) -> int:
         """Persistent-cache hits (memory + disk, excluding run memos)."""
-        return self.memory_hits + self.disk_hits
+        with self._lock:
+            return self._counter_cells["memory_hits"].value + self._counter_cells["disk_hits"].value
 
     def hit_rate(self) -> float:
         """Fraction of charged evaluations served without synthesis."""
-        charged = self.cache_hits + self.synth_calls
-        return self.cache_hits / charged if charged else 0.0
+        with self._lock:
+            hits = self._counter_cells["memory_hits"].value + self._counter_cells["disk_hits"].value
+            charged = hits + self._counter_cells["synth_calls"].value
+            return hits / charged if charged else 0.0
 
     def synth_throughput(self) -> float:
         """Physical synthesis calls per second of synthesis wall-clock."""
-        seconds = self.stage_seconds.get("synthesis", 0.0)
-        return self.synth_calls / seconds if seconds > 0 else 0.0
+        with self._lock:
+            seconds = self.stage_seconds.get("synthesis", 0.0)
+            calls = self._counter_cells["synth_calls"].value
+            return calls / seconds if seconds > 0 else 0.0
 
     def as_dict(self) -> Dict[str, object]:
-        """JSON-friendly snapshot (the shape stored in RunRecord)."""
+        """JSON-friendly snapshot (the shape stored in RunRecord).
+
+        The whole payload — derived ratios included — is computed from
+        values read under one lock acquisition, so the ratios can never
+        disagree with the counters in the same snapshot.
+        """
         with self._lock:
             payload: Dict[str, object] = {
-                name: getattr(self, name) for name in self._COUNTERS
+                name: self._counter_cells[name].value for name in self._COUNTERS
             }
             payload["stage_seconds"] = dict(self.stage_seconds)
             payload["stage_calls"] = dict(self.stage_calls)
-        payload["cache_hits"] = payload["memory_hits"] + payload["disk_hits"]  # type: ignore[operator]
-        payload["hit_rate"] = self.hit_rate()
-        payload["synth_throughput"] = self.synth_throughput()
+            synthesis_seconds = self.stage_seconds.get("synthesis", 0.0)
+        cache_hits = payload["memory_hits"] + payload["disk_hits"]  # type: ignore[operator]
+        payload["cache_hits"] = cache_hits
+        charged = cache_hits + payload["synth_calls"]  # type: ignore[operator]
+        payload["hit_rate"] = cache_hits / charged if charged else 0.0  # type: ignore[operator]
+        payload["synth_throughput"] = (
+            payload["synth_calls"] / synthesis_seconds if synthesis_seconds > 0 else 0.0  # type: ignore[operator]
+        )
         return payload
 
     def merge(self, other: "EngineTelemetry") -> None:
-        """Fold another telemetry instance into this one."""
-        snapshot = other.as_dict()
-        for name in self._COUNTERS:
-            self.add(name, int(snapshot[name]))
-        for name, seconds in snapshot["stage_seconds"].items():  # type: ignore[union-attr]
-            self.add_stage_time(
-                name, float(seconds), calls=int(snapshot["stage_calls"][name])  # type: ignore[index]
-            )
+        """Fold another telemetry instance into this one (counters,
+        stage timers and the registry's latency histograms)."""
+        self.metrics.merge(other.metrics)
+        with other._lock:
+            stage_seconds = dict(other.stage_seconds)
+            stage_calls = dict(other.stage_calls)
+        with self._lock:
+            for name, seconds in stage_seconds.items():
+                self.stage_seconds[name] = self.stage_seconds.get(name, 0.0) + seconds
+                self.stage_calls[name] = (
+                    self.stage_calls.get(name, 0) + stage_calls.get(name, 0)
+                )
 
     def __repr__(self) -> str:
         return (
@@ -200,21 +258,39 @@ def stage(telemetry: Optional[EngineTelemetry], name: str) -> Iterator[None]:
 
     Algorithms call ``stage(getattr(simulator, "telemetry", None), "train")``
     so the same code runs unchanged against the plain serial simulator.
+    When tracing is active the stage also becomes a span whose duration
+    is imposed from the same measurement charged to ``stage_seconds``.
     """
     if telemetry is None:
         yield
         return
-    with telemetry.time(name):
+    span = trace.span(name, _STAGE_ATTRS)
+    span.__enter__()
+    start = time.perf_counter()
+    try:
         yield
+    finally:
+        elapsed = time.perf_counter() - start
+        telemetry.add_stage_time(name, elapsed)
+        span.finish(elapsed=elapsed)
 
 
 @contextmanager
 def stage_all(telemetries, name: str) -> Iterator[None]:
-    """Charge one wall-clock measurement to several telemetry sinks."""
+    """Charge one wall-clock measurement to several telemetry sinks.
+
+    ``None`` entries are skipped (same convention as :func:`stage`), so
+    mixed sink lists — e.g. an engine aggregate plus an optional per-run
+    instance — work without the caller filtering.
+    """
+    span = trace.span(name, _STAGE_ATTRS)
+    span.__enter__()
     start = time.perf_counter()
     try:
         yield
     finally:
         elapsed = time.perf_counter() - start
         for telemetry in telemetries:
-            telemetry.add_stage_time(name, elapsed)
+            if telemetry is not None:
+                telemetry.add_stage_time(name, elapsed)
+        span.finish(elapsed=elapsed)

@@ -43,6 +43,8 @@ catch a violation that only manifests on later batches).
 
 from __future__ import annotations
 
+import os
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -59,7 +61,28 @@ __all__ = [
     "GraphProgram",
     "CompiledTrainStep",
     "compile_train_step",
+    "profile_enabled",
 ]
+
+
+def profile_enabled() -> bool:
+    """``REPRO_PROFILE=1``: per-kernel replay timings (see GraphProgram).
+
+    Checked once per program *build*, not per replay, so flipping the
+    variable mid-run only affects programs compiled afterwards.
+    """
+    return os.environ.get("REPRO_PROFILE", "0").strip() not in ("", "0")
+
+
+def _profiled(instr: Callable, label: str, totals: Dict[str, float]) -> Callable:
+    """Wrap one replay instruction with a cumulative perf_counter timer."""
+
+    def run_profiled() -> None:
+        start = time.perf_counter()
+        instr()
+        totals[label] = totals.get(label, 0.0) + (time.perf_counter() - start)
+
+    return run_profiled
 
 
 class CompileUnsupported(RuntimeError):
@@ -586,6 +609,22 @@ class GraphProgram:
                 first_write.discard(parent)
             self._backward.append(self._build_backward_instr(node, sites))
 
+        # -- 9. optional per-kernel profiling (REPRO_PROFILE=1) --------
+        # Cumulative replay seconds per op label; fused-chain members
+        # still run one instruction each (writing into shared scratch),
+        # so per-node labels attribute fused work to its actual kernels.
+        self.kernel_seconds: Dict[str, float] = {}
+        if profile_enabled():
+            totals = self.kernel_seconds
+            self._forward = [
+                _profiled(instr, "fwd:" + nodes[nid].op, totals)
+                for instr, nid in zip(self._forward, sched)
+            ]
+            self._backward = [
+                _profiled(instr, "bwd:" + nodes[nid].op, totals)
+                for instr, nid in zip(self._backward, grad_sched)
+            ]
+
     # ------------------------------------------------------------------
     def _build_forward_instr(
         self, node: Node, op, buf: Optional[np.ndarray]
@@ -1025,6 +1064,21 @@ class CompiledTrainStep:
 
     def signature(self, arrays: Sequence[np.ndarray]) -> Tuple:
         return tuple((a.shape, a.dtype.str) for a in arrays)
+
+    def kernel_seconds(self) -> Dict[str, float]:
+        """Cumulative per-kernel replay seconds across all programs.
+
+        Empty unless the programs were built with ``REPRO_PROFILE=1``
+        (see :func:`profile_enabled`); labels are ``fwd:<op>`` /
+        ``bwd:<op>`` summed over every shape-specialized program.
+        """
+        totals: Dict[str, float] = {}
+        for program in self._programs.values():
+            if program is None:
+                continue
+            for label, seconds in program.kernel_seconds.items():
+                totals[label] = totals.get(label, 0.0) + seconds
+        return totals
 
     def __call__(self, *arrays: np.ndarray) -> Dict[str, float]:
         arrays = tuple(np.asarray(a, dtype=np.float64) for a in arrays)

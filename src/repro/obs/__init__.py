@@ -1,0 +1,77 @@
+"""repro.obs — hierarchical tracing, unified metrics, run reporting.
+
+Three stdlib-only cores (safe for the dependency-light engine layers to
+import) plus analysis tooling:
+
+- :mod:`repro.obs.trace` — spans, the ambient :class:`Tracer`,
+  cross-thread and cross-process context propagation.
+- :mod:`repro.obs.metrics` — counters/gauges/histograms behind one
+  :class:`MetricsRegistry` (backs ``EngineTelemetry``).
+- :mod:`repro.obs.sink` — durable ``trace.jsonl`` writer, readers, the
+  Perfetto exporter and the CI schema validator.
+- :mod:`repro.obs.report` — span trees, self/total attribution,
+  stage-seconds reconstruction, live tailing.
+"""
+
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .sink import (
+    TRACE_FILENAME,
+    TraceSink,
+    export_perfetto,
+    read_trace,
+    to_perfetto,
+    validate_spans,
+)
+from .trace import (
+    NULL_SPAN,
+    Span,
+    SpanContext,
+    Tracer,
+    active,
+    current_tracer,
+    reset_in_child,
+    span,
+    start_span,
+)
+from .report import (
+    SpanNode,
+    aggregate,
+    build_tree,
+    counter_totals,
+    coverage,
+    follow_trace,
+    render_hot_stages,
+    render_tree,
+    stage_totals,
+)
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "TRACE_FILENAME",
+    "TraceSink",
+    "export_perfetto",
+    "read_trace",
+    "to_perfetto",
+    "validate_spans",
+    "NULL_SPAN",
+    "Span",
+    "SpanContext",
+    "Tracer",
+    "active",
+    "current_tracer",
+    "reset_in_child",
+    "span",
+    "start_span",
+    "SpanNode",
+    "aggregate",
+    "build_tree",
+    "counter_totals",
+    "coverage",
+    "follow_trace",
+    "render_hot_stages",
+    "render_tree",
+    "stage_totals",
+]

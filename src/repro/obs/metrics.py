@@ -1,0 +1,244 @@
+"""Unified metrics: counters, gauges and histograms behind one registry.
+
+:class:`MetricsRegistry` is the single source of truth for numeric
+observability state.  :class:`~repro.engine.telemetry.EngineTelemetry`
+is backed by one (its named counters *are* registry counters; its stage
+timers additionally feed per-stage latency histograms), so the legacy
+``as_dict()`` snapshot and the richer registry view can never disagree
+— they read the same cells under the same lock.
+
+Concurrency model: one registry-wide :class:`threading.RLock` guards
+every instrument.  That makes multi-instrument snapshots atomic — the
+torn-read class of bug (ratios computed outside the lock that produced
+their numerators) is structurally impossible against a registry — at
+the cost of a little contention, which is irrelevant at engine rates
+(thousands of increments per second, not millions).
+
+Stdlib-only, like the rest of :mod:`repro.obs`'s core, so the engine
+can depend on it without import cycles.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "DEFAULT_BUCKETS"]
+
+#: default latency buckets (seconds): exponential, micro to minutes.
+DEFAULT_BUCKETS = (
+    1e-5, 1e-4, 1e-3, 1e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0, 300.0
+)
+
+
+class Counter:
+    """Monotonic counter (guarded by the registry lock)."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, lock: threading.RLock) -> None:
+        self.name = name
+        self.value = 0
+        self._lock = lock
+
+    def add(self, amount: int = 1) -> None:
+        with self._lock:
+            self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """Last-write-wins instantaneous value."""
+
+    __slots__ = ("name", "value", "_lock")
+
+    def __init__(self, name: str, lock: threading.RLock) -> None:
+        self.name = name
+        self.value = 0.0
+        self._lock = lock
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self.value = float(value)
+
+    def add(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class Histogram:
+    """Fixed-bucket histogram with running count/sum/min/max.
+
+    Buckets are upper bounds (``le`` semantics, Prometheus-style); an
+    implicit overflow bucket catches everything beyond the last bound.
+    """
+
+    __slots__ = ("name", "bounds", "bucket_counts", "count", "sum", "min", "max", "_lock")
+
+    def __init__(
+        self,
+        name: str,
+        lock: threading.RLock,
+        buckets: Optional[Sequence[float]] = None,
+    ) -> None:
+        self.name = name
+        self.bounds = tuple(buckets) if buckets is not None else DEFAULT_BUCKETS
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError("histogram buckets must be sorted ascending")
+        self.bucket_counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+        self._lock = lock
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            for i, bound in enumerate(self.bounds):
+                if value <= bound:
+                    self.bucket_counts[i] += 1
+                    return
+            self.bucket_counts[-1] += 1
+
+    def mean(self) -> float:
+        with self._lock:
+            return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile estimate (upper bound of the
+        bucket holding the q-th observation; +inf resolves to max)."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        with self._lock:
+            if self.count == 0:
+                return 0.0
+            target = q * self.count
+            seen = 0
+            for i, n in enumerate(self.bucket_counts):
+                seen += n
+                if seen >= target and n:
+                    if i < len(self.bounds):
+                        return self.bounds[i]
+                    return self.max
+            return self.max
+
+    def as_dict(self) -> Dict:
+        with self._lock:
+            return {
+                "count": self.count,
+                "sum": self.sum,
+                "min": self.min if self.count else 0.0,
+                "max": self.max if self.count else 0.0,
+                "buckets": {
+                    ("+inf" if i == len(self.bounds) else repr(self.bounds[i])): n
+                    for i, n in enumerate(self.bucket_counts)
+                    if n
+                },
+            }
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self.count}, mean={self.mean():.6f})"
+
+
+class MetricsRegistry:
+    """Get-or-create home for named instruments, with atomic snapshots."""
+
+    def __init__(self) -> None:
+        self.lock = threading.RLock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- instruments -----------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        with self.lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name, self.lock)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        with self.lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name, self.lock)
+            return instrument
+
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        with self.lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(
+                    name, self.lock, buckets
+                )
+            return instrument
+
+    # -- snapshots -------------------------------------------------------
+    def counter_values(self, names: Optional[Sequence[str]] = None) -> Dict[str, int]:
+        """Atomic multi-counter read (missing names read as 0)."""
+        with self.lock:
+            if names is None:
+                return {name: c.value for name, c in self._counters.items()}
+            return {
+                name: (self._counters[name].value if name in self._counters else 0)
+                for name in names
+            }
+
+    def as_dict(self) -> Dict:
+        """One JSON-friendly snapshot of every instrument, atomically."""
+        with self.lock:
+            return {
+                "counters": {name: c.value for name, c in self._counters.items()},
+                "gauges": {name: g.value for name, g in self._gauges.items()},
+                "histograms": {
+                    name: h.as_dict() for name, h in self._histograms.items()
+                },
+            }
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's instruments into this one."""
+        # Copy the other side's state in one atomic pass, then apply —
+        # never hold both locks at once.
+        with other.lock:
+            counters = {name: c.value for name, c in other._counters.items()}
+            gauges = {name: g.value for name, g in other._gauges.items()}
+            histograms = {
+                name: (h.bounds, list(h.bucket_counts), h.count, h.sum, h.min, h.max)
+                for name, h in other._histograms.items()
+            }
+        with self.lock:
+            for name, value in counters.items():
+                self.counter(name).value += value
+            for name, value in gauges.items():
+                self.gauge(name).value = value
+            for name, (bounds, bucket_counts, count, total, lo, hi) in histograms.items():
+                ours = self.histogram(name, bounds)
+                if ours.bounds != bounds:
+                    raise ValueError(f"histogram {name!r} bucket mismatch on merge")
+                ours.count += count
+                ours.sum += total
+                ours.min = min(ours.min, lo)
+                ours.max = max(ours.max, hi)
+                for i, n in enumerate(bucket_counts):
+                    ours.bucket_counts[i] += n
+
+    def __repr__(self) -> str:
+        with self.lock:
+            return (
+                f"MetricsRegistry({len(self._counters)} counters, "
+                f"{len(self._gauges)} gauges, {len(self._histograms)} histograms)"
+            )

@@ -29,6 +29,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 import numpy as np
 
 from ..circuits.task import CircuitTask
+from ..obs import trace
 from ..utils.rng import seed_sequence
 from .optimizer import SearchAlgorithm
 from .results import RunRecord
@@ -158,6 +159,17 @@ def _run_seed_grid(
         raise ValueError("an observed grid needs an explicit method_name")
 
     def _run_one(seed: int) -> RunRecord:
+        # The span context-manager form guarantees the seed span closes
+        # even when RunInterrupted (or anything else) unwinds the seed
+        # thread mid-run; fresh threads parent to the tracer's default
+        # context (the experiment root span).
+        with trace.span("seed") as span:
+            if method_name is not None:
+                span.set_attr("method", method_name)
+            span.set_attr("seed", seed)
+            return _run_seed(seed)
+
+    def _run_seed(seed: int) -> RunRecord:
         if observer is not None:
             observer.check_interrupt()
             done = observer.completed_record(method_name, seed)
