@@ -1,0 +1,133 @@
+"""Microbench: attaching to a warm daemon vs cold-starting an engine.
+
+The point of the shared evaluation daemon (:mod:`repro.serve`) is that
+short-lived clients — a notebook cell, a quick sweep — inherit a warm
+synthesis cache instead of paying cold-start synthesis again.  This
+bench quantifies that and writes a ``BENCH_serve_attach.json`` record:
+
+1. **cold-start** — a fresh in-process :class:`EngineSimulator` plus a
+   fresh :class:`EvaluationEngine` (memory-only cache) evaluates the
+   workload: every graph is synthesized from scratch;
+2. **warm-attach** — a daemon pre-warmed with the same workload serves
+   a :class:`RemoteEngineSimulator` client over the unix socket: the
+   client pays connection + wire cost, the daemon answers from cache.
+
+Bit-identity of (area, delay) between the two paths is asserted — the
+speedup must never come from answering differently.  The wall-clock
+ratio is recorded for the artifact but not gated (shared CI runners are
+too noisy); ``REPRO_BENCH_ASSERT_SERVE=1`` arms a >= 2x gate for
+controlled machines.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.circuits import adder_task
+from repro.engine import EngineSimulator, EvaluationEngine
+from repro.prefix import unique_random_graphs
+from repro.serve.client import RemoteEngineSimulator, ServeClient
+from repro.serve.daemon import EvalDaemon
+
+from common import once
+
+OUT_PATH = os.environ.get("REPRO_BENCH_OUT", "BENCH_serve_attach.json")
+N = 16
+WORKLOAD = int(os.environ.get("REPRO_BENCH_SERVE_GRAPHS", "48"))
+ROUNDS = 3
+
+
+def _workload():
+    return unique_random_graphs(
+        N, WORKLOAD, np.random.default_rng(7),
+        density_low=0.1, density_high=0.6,
+    )
+
+
+def _cold_start_seconds(task, graphs):
+    start = time.perf_counter()
+    simulator = EngineSimulator(task, engine=EvaluationEngine())
+    out = simulator.query_plan(graphs)
+    return time.perf_counter() - start, out
+
+
+def _warm_attach_seconds(task, graphs, socket_path):
+    start = time.perf_counter()
+    client = ServeClient(socket_path, client_name="bench")
+    simulator = RemoteEngineSimulator(task, client=client)
+    out = simulator.query_plan(graphs)
+    elapsed = time.perf_counter() - start
+    assert simulator.remote, "bench fell back to the in-process engine"
+    client.close()
+    return elapsed, out
+
+
+def run_serve_attach(tmp_dir=None):
+    import tempfile
+
+    task = adder_task(N, 0.66)
+    graphs = _workload()
+    tmp = tmp_dir or tempfile.mkdtemp(prefix="bench_serve_")
+    socket_path = os.path.join(tmp, "bench.sock")
+
+    daemon = EvalDaemon(socket_path, engine=EvaluationEngine())
+    thread = daemon.run_in_thread()
+    try:
+        # pre-warm the daemon with the exact workload
+        warmup_client = ServeClient(socket_path, client_name="warmup")
+        RemoteEngineSimulator(task, client=warmup_client).query_plan(graphs)
+        warmup_client.close()
+
+        cold_s, cold_out = min(
+            (_cold_start_seconds(task, graphs) for _ in range(ROUNDS)),
+            key=lambda pair: pair[0],
+        )
+        synth_before = daemon.engine.telemetry.synth_calls
+        warm_s, warm_out = min(
+            (_warm_attach_seconds(task, graphs, socket_path)
+             for _ in range(ROUNDS)),
+            key=lambda pair: pair[0],
+        )
+        # warm attach means ZERO new synthesis on the daemon
+        synth_delta = daemon.engine.telemetry.synth_calls - synth_before
+        assert synth_delta == 0, synth_delta
+    finally:
+        daemon.begin_drain()
+        thread.join(timeout=15)
+
+    # the speedup must not come from answering differently
+    for cold, warm in zip(cold_out, warm_out):
+        assert (cold.area_um2, cold.delay_ns) == (warm.area_um2, warm.delay_ns)
+
+    stats = {
+        "graphs": WORKLOAD,
+        "bitwidth": N,
+        "cold_start_s": cold_s,
+        "warm_attach_s": warm_s,
+        "speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+        "cpus": os.cpu_count() or 1,
+    }
+    with open(OUT_PATH, "w") as handle:
+        json.dump(stats, handle, indent=2)
+    return stats
+
+
+def test_serve_attach(benchmark):
+    stats = once(benchmark, run_serve_attach)
+    print()
+    print(
+        f"serve attach: {stats['graphs']} graphs @ n={stats['bitwidth']}  "
+        f"cold-start {stats['cold_start_s'] * 1000:8.1f} ms   "
+        f"warm-attach {stats['warm_attach_s'] * 1000:8.1f} ms   "
+        f"({stats['speedup']:.1f}x)"
+    )
+    print(f"  record -> {OUT_PATH}")
+    if os.environ.get("REPRO_BENCH_ASSERT_SERVE") == "1":
+        assert stats["speedup"] >= 2.0, stats
+
+
+if __name__ == "__main__":
+    run_serve_attach()
+    print(json.dumps(json.load(open(OUT_PATH)), indent=2))

@@ -1,0 +1,165 @@
+"""Serve smoke: a real daemon, concurrent tenants, SIGTERM, compaction.
+
+The contracts the shared evaluation daemon (:mod:`repro.serve`) must
+keep are distributional, so they are proven end to end with real
+processes over a real unix socket:
+
+1. start a daemon with ``python -m repro serve start``;
+2. run the reference spec in-process (no ``$REPRO_ENGINE_SOCKET``);
+3. run TWO concurrent client processes against the daemon and assert
+   both wrote records bit-identical to the reference — fair-share
+   scheduling must never leak into results;
+4. compact the daemon's evaluation-cache directory while it is live,
+   run a third client, and assert the daemon served it without any new
+   synthesis (the warm cache survived compaction);
+5. SIGTERM the daemon mid-run of a fourth client and assert the client
+   still exits 0 with bit-identical records (graceful drain + client
+   fallback to the in-process engine).
+
+Exit code 0 = every contract held.  Used by the CI ``serve-smoke`` job;
+run locally with ``PYTHONPATH=src python scripts/serve_smoke.py``.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+REPO = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.opt import load_records  # noqa: E402
+
+SPEC = {
+    "name": "serve-smoke",
+    "task": {"circuit_type": "adder", "n": 8, "delay_weight": 0.66},
+    "methods": [
+        {"method": "GA", "label": None, "params": {"population_size": 8}},
+        {"method": "Random", "label": None, "params": {}},
+    ],
+    "budget": 24,
+    "num_seeds": 1,
+    "base_seed": 0,
+    "seeds": None,
+    "curve_points": 4,
+    "engine": {"cache_dir": None, "workers": None, "parallel_seeds": 1},
+}
+
+
+def cli(*args, socket=None, tenant=None, wait=True):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.path.join(REPO, "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    env.pop("REPRO_ENGINE_SOCKET", None)
+    if socket is not None:
+        env["REPRO_ENGINE_SOCKET"] = socket
+    if tenant is not None:
+        env["REPRO_ENGINE_TENANT"] = tenant
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", *args], env=env, cwd=REPO
+    )
+    if not wait:
+        return process
+    if process.wait() != 0:
+        raise SystemExit(f"command failed: {args}")
+    return process
+
+
+def run_spec(spec_path, out, socket=None, tenant=None, wait=True):
+    return cli("run", spec_path, "--out", out,
+               socket=socket, tenant=tenant, wait=wait)
+
+
+def assert_identical(path, reference_path, label):
+    records = load_records(path)
+    reference = load_records(reference_path)
+    assert len(records) == len(reference), (label, len(records))
+    for record, ref in zip(records, reference):
+        assert record.method == ref.method and record.seed == ref.seed, label
+        assert list(record.costs) == list(ref.costs), (label, record.method)
+        assert list(record.areas) == list(ref.areas), (label, record.method)
+        assert list(record.delays) == list(ref.delays), (label, record.method)
+        assert record.best_graph == ref.best_graph, (label, record.method)
+    print(f"[serve-smoke] {label}: bit-identical to the reference")
+
+
+def daemon_stats(socket):
+    from repro.serve.client import ServeClient
+
+    client = ServeClient(socket)
+    try:
+        return client.stats().to_dict()
+    finally:
+        client.close()
+
+
+def main():
+    with tempfile.TemporaryDirectory() as tmp:
+        spec_path = os.path.join(tmp, "spec.json")
+        with open(spec_path, "w") as handle:
+            json.dump(SPEC, handle)
+        socket = os.path.join(tmp, "eval.sock")
+        cache_dir = os.path.join(tmp, "cache")
+
+        # 1. reference, no daemon anywhere
+        ref = os.path.join(tmp, "ref.jsonl")
+        run_spec(spec_path, ref)
+
+        # 2. daemon up
+        cli("serve", "start", "--socket", socket, "--cache-dir", cache_dir)
+        print(f"[serve-smoke] daemon listening on {socket}")
+
+        # 3. two concurrent tenants, both bit-identical
+        out_a = os.path.join(tmp, "a.jsonl")
+        out_b = os.path.join(tmp, "b.jsonl")
+        client_a = run_spec(spec_path, out_a, socket=socket,
+                            tenant="tenant-a", wait=False)
+        client_b = run_spec(spec_path, out_b, socket=socket,
+                            tenant="tenant-b", wait=False)
+        assert client_a.wait() == 0 and client_b.wait() == 0
+        assert_identical(out_a, ref, "concurrent tenant A")
+        assert_identical(out_b, ref, "concurrent tenant B")
+        stats = daemon_stats(socket)
+        completed = stats["jobs_completed"]
+        assert completed >= 2, stats  # the remote path was actually used
+        print(f"[serve-smoke] daemon completed {completed} jobs "
+              f"for 2 concurrent tenants")
+
+        # 4. compact the live cache, then a warm re-run: zero new synthesis
+        synth_before = stats["telemetry"]["synth_calls"]
+        cli("serve", "compact", cache_dir)
+        out_c = os.path.join(tmp, "c.jsonl")
+        run_spec(spec_path, out_c, socket=socket, tenant="tenant-c")
+        assert_identical(out_c, ref, "post-compaction tenant C")
+        synth_after = daemon_stats(socket)["telemetry"]["synth_calls"]
+        assert synth_after == synth_before, (synth_before, synth_after)
+        print("[serve-smoke] compaction kept the cache warm "
+              f"(synth_calls stayed at {synth_after})")
+
+        # 5. SIGTERM mid-run: drain + client fallback, still identical
+        with open(os.path.join(tmp, "eval.sock.pid.json")) as handle:
+            daemon_pid = json.load(handle)["pid"]
+        out_d = os.path.join(tmp, "d.jsonl")
+        client_d = run_spec(spec_path, out_d, socket=socket,
+                            tenant="tenant-d", wait=False)
+        time.sleep(1.0)  # let the run get going before pulling the plug
+        os.kill(daemon_pid, signal.SIGTERM)
+        assert client_d.wait() == 0, "client died with the daemon"
+        assert_identical(out_d, ref, "SIGTERMed-daemon tenant D")
+        for _ in range(150):
+            if not os.path.exists(socket):
+                break
+            time.sleep(0.1)
+        assert not os.path.exists(socket), "daemon left its socket behind"
+        print("[serve-smoke] SIGTERM drained cleanly; client fell back "
+              "and finished bit-identically")
+
+    print("[serve-smoke] OK")
+
+
+if __name__ == "__main__":
+    main()

@@ -49,16 +49,6 @@ import os
 import uuid
 from typing import Dict, List, Optional
 
-def _pid_alive(pid: int) -> bool:
-    """Best-effort liveness probe for an advisory lock owner."""
-    try:
-        os.kill(pid, 0)
-    except ProcessLookupError:
-        return False
-    except (PermissionError, OSError):
-        pass  # exists but owned elsewhere — treat as alive
-    return True
-
 from ..opt.records_io import (
     append_evaluations,
     evaluation_to_dict,
@@ -69,6 +59,7 @@ from ..opt.records_io import (
 from ..opt.results import RunRecord
 from ..opt.simulator import Evaluation
 from ..utils.io import atomic_write_json, atomic_write_text
+from ..utils.locks import pid_alive, read_lock_pid, warn_stale_lock
 from .spec import ExperimentSpec
 
 __all__ = ["RunDirectory", "RunCellWriter"]
@@ -181,23 +172,21 @@ class RunDirectory:
         silently lose each other's evaluations, so submit/resume refuse
         a directory whose lock names a still-running process.  A stale
         lock (dead pid — e.g. the SIGKILLed run a resume is exactly
-        for — or an unreadable file) is stolen.  Advisory only: a
-        pathological simultaneous acquire can still race, but the
+        for — or an unreadable file) is stolen with a
+        :class:`RuntimeWarning` naming the dead pid, so the operator
+        learns that a previous execution died uncleanly.  Advisory only:
+        a pathological simultaneous acquire can still race, but the
         realistic double-resume mistake is caught.
         """
         path = self._lock_path()
         if os.path.exists(path):
-            pid = None
-            try:
-                with open(path) as handle:
-                    pid = int(json.load(handle).get("pid"))
-            except (ValueError, TypeError, OSError):
-                pass  # unreadable lock = stale
-            if pid is not None and _pid_alive(pid):
+            pid = read_lock_pid(path)
+            if pid is not None and pid_alive(pid):
                 raise ValueError(
                     f"{self.path} is already being executed by live process "
                     f"{pid}; interrupt it (or wait) before resuming here"
                 )
+            warn_stale_lock(path, pid)
         atomic_write_json(path, {"pid": os.getpid()}, indent=2)
 
     def release_lock(self) -> None:

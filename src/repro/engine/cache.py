@@ -21,12 +21,24 @@ has already measured.  This module provides that store:
 
 Disk format: ``<cache_dir>/<fingerprint>.jsonl``, one record per line::
 
-    {"k": "<hex of packed grid bits>", "a": <area_um2>, "d": <delay_ns>}
+    {"k": "<hex of packed grid bits>", "a": <area_um2>, "d": <delay_ns>,
+     "t": <unix seconds written>}
 
 Append-only and last-writer-wins, so concurrent processes can share a
 directory; a truncated or otherwise corrupt line (crash mid-append,
 bit rot, manual edits) is skipped with a ``RuntimeWarning`` on load,
-and duplicate keys resolve to the newest record.
+and duplicate keys resolve to the newest record.  ``t`` feeds the
+age-eviction policy of :mod:`repro.serve.compact`; readers ignore it
+(and any other unknown key), so shards written before it existed stay
+loadable.
+
+Sharing with external writers is incremental: each instance remembers
+how far into every shard it has parsed, so a miss against a shard that
+another process (a daemon, a parallel sweep) has since appended to only
+parses the *new* tail — a long-lived daemon never re-reads its whole
+history to discover one new record.  A shard that *shrank* (another
+process compacted it) is detected the same way and triggers one full
+reload.
 """
 
 from __future__ import annotations
@@ -35,6 +47,7 @@ import hashlib
 import json
 import os
 import threading
+import time
 import warnings
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
@@ -129,6 +142,10 @@ class EvaluationCache:
         # memory miss seeks straight to the one record instead of
         # becoming a silent re-synthesis (or a full-shard rescan).
         self._disk_offsets: Dict[str, Dict[bytes, int]] = {}
+        # How far into each shard this instance has parsed; external
+        # appends beyond this point are picked up incrementally by
+        # _refresh_fingerprint, never by re-reading the whole file.
+        self._read_positions: Dict[str, int] = {}
         if cache_dir:
             os.makedirs(cache_dir, exist_ok=True)
 
@@ -161,6 +178,7 @@ class EvaluationCache:
                         self._insert(fingerprint, key, metrics, from_disk=True)
                         loaded += 1
                     position += len(raw)
+            self._read_positions[fingerprint] = position
             span.set_attr("entries", loaded)
 
     @staticmethod
@@ -189,11 +207,10 @@ class EvaluationCache:
             )
             return None
 
-    def _reload_entry(self, fingerprint: str, key: bytes) -> Optional[Metrics]:
-        """Re-read one LRU-evicted record from its shard by byte offset."""
-        offset = self._disk_offsets.get(fingerprint, {}).get(key)
-        if self.cache_dir is None or offset is None:
-            return None
+    def _read_at(
+        self, fingerprint: str, key: bytes, offset: int
+    ) -> Optional[Metrics]:
+        """One record by byte offset; None if absent or the offset is stale."""
         path = self._path(fingerprint)
         if not os.path.exists(path):
             return None
@@ -202,13 +219,79 @@ class EvaluationCache:
             parsed = self._parse_line(handle.readline())
         if parsed is not None and parsed[0] == key:
             return parsed[1]
+        return None
+
+    def _reload_entry(self, fingerprint: str, key: bytes) -> Optional[Metrics]:
+        """Re-read one LRU-evicted record from its shard by byte offset."""
+        offset = self._disk_offsets.get(fingerprint, {}).get(key)
+        if self.cache_dir is None or offset is None:
+            return None
+        metrics = self._read_at(fingerprint, key, offset)
+        if metrics is not None:
+            return metrics
         # Offset went stale (e.g. another process compacted the shard):
         # fall back to one full rescan, rebuilding the index.
         self._disk_offsets.pop(fingerprint, None)
+        self._read_positions.pop(fingerprint, None)
         self._loaded_fingerprints.discard(fingerprint)
         self._load_fingerprint(fingerprint)
         entry = self._memory.get((fingerprint, key))
-        return entry[0] if entry is not None else None
+        if entry is not None:
+            return entry[0]
+        # Rescanned but LRU-bounded out of memory again: the rebuilt
+        # offset index is fresh, so one more seek settles it.
+        offset = self._disk_offsets.get(fingerprint, {}).get(key)
+        if offset is None:
+            return None
+        return self._read_at(fingerprint, key, offset)
+
+    def _refresh_fingerprint(self, fingerprint: str) -> bool:
+        """Catch up with external writers on an already-loaded shard.
+
+        Parses only the bytes appended since this instance last read the
+        shard (the incremental path a long-lived daemon relies on); a
+        shard that shrank — another process compacted it — triggers one
+        full reload instead.  Returns True when anything changed.
+        """
+        if not self.cache_dir:
+            return False
+        path = self._path(fingerprint)
+        position = self._read_positions.get(fingerprint, 0)
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            size = 0
+        if size < position:
+            # Shrunk underneath us: compaction rewrote the shard, every
+            # remembered offset is void — rescan from byte 0.
+            self._disk_offsets.pop(fingerprint, None)
+            self._read_positions.pop(fingerprint, None)
+            self._loaded_fingerprints.discard(fingerprint)
+            self._load_fingerprint(fingerprint)
+            return True
+        if size == position:
+            return False
+        offsets = self._disk_offsets.setdefault(fingerprint, {})
+        loaded = 0
+        with trace.span("cache_refresh") as span:
+            span.set_attr("fingerprint", fingerprint[:16])
+            with open(path, "rb") as handle:
+                handle.seek(position)
+                for raw in handle:
+                    if not raw.endswith(b"\n"):
+                        # A concurrent writer's half-appended tail: not
+                        # corruption, just early — re-read next refresh.
+                        break
+                    parsed = self._parse_line(raw)
+                    if parsed is not None:
+                        key, metrics = parsed
+                        offsets[key] = position
+                        self._insert(fingerprint, key, metrics, from_disk=True)
+                        loaded += 1
+                    position += len(raw)
+            span.set_attr("entries", loaded)
+        self._read_positions[fingerprint] = position
+        return True
 
     def _insert(
         self, fingerprint: str, key: bytes, metrics: Metrics, from_disk: bool
@@ -242,10 +325,18 @@ class EvaluationCache:
                 # Evicted from the LRU front but still on disk: re-read it
                 # rather than letting the miss trigger a re-synthesis.
                 metrics = self._reload_entry(fingerprint, key)
-                if metrics is None:
-                    return None
-                self._insert(fingerprint, key, metrics, from_disk=True)
-                entry = self._memory[(fingerprint, key)]
+                if metrics is None and self._refresh_fingerprint(fingerprint):
+                    # An external writer grew (or compacted) the shard
+                    # since our last read; the refresh may have brought
+                    # the key in.
+                    entry = self._memory.get((fingerprint, key))
+                    if entry is None:
+                        metrics = self._reload_entry(fingerprint, key)
+                if entry is None:
+                    if metrics is None:
+                        return None
+                    self._insert(fingerprint, key, metrics, from_disk=True)
+                    entry = self._memory[(fingerprint, key)]
             metrics, from_disk = entry
             self._memory[(fingerprint, key)] = (metrics, False)
             self._memory.move_to_end((fingerprint, key))
@@ -259,7 +350,13 @@ class EvaluationCache:
             if self.cache_dir:
                 path = self._path(fingerprint)
                 line = json.dumps(
-                    {"k": key.hex(), "a": metrics[0], "d": metrics[1]}
+                    {
+                        "k": key.hex(),
+                        "a": metrics[0],
+                        "d": metrics[1],
+                        # written-at stamp for compaction age eviction
+                        "t": round(time.time(), 3),
+                    }
                 )
                 # getsize-then-append gives this process an exact offset;
                 # a concurrent writer can only make it stale, which
@@ -268,6 +365,19 @@ class EvaluationCache:
                 with open(path, "a") as handle:
                     handle.write(line + "\n")
                 self._disk_offsets.setdefault(fingerprint, {})[key] = offset
+                if offset == 0:
+                    # We created the shard, so we know its entire content:
+                    # nothing on disk predates us that a load could find.
+                    self._loaded_fingerprints.add(fingerprint)
+                # Our own append needs no future re-parse: advance the
+                # incremental-read position over it iff we were current
+                # (if external appends are pending, leave it so the next
+                # refresh picks them up).
+                if (
+                    fingerprint in self._loaded_fingerprints
+                    and self._read_positions.get(fingerprint, 0) == offset
+                ):
+                    self._read_positions[fingerprint] = offset + len(line) + 1
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:

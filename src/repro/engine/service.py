@@ -31,6 +31,7 @@ eliminates physical synthesis work, never paper-semantics accounting.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -91,7 +92,22 @@ class EvaluationEngine:
     def simulator(
         self, task: CircuitTask, budget: Optional[int] = None
     ) -> "EngineSimulator":
-        """A fresh engine-backed simulator for one run."""
+        """A fresh engine-backed simulator for one run.
+
+        When ``$REPRO_ENGINE_SOCKET`` names a live evaluation daemon
+        (:mod:`repro.serve`), the simulator transparently routes its
+        synthesis through it — budget accounting, history and records
+        stay client-side and bit-identical either way, and the facade
+        falls back to this in-process engine if the daemon goes away.
+        """
+        if os.environ.get("REPRO_ENGINE_SOCKET", "").strip():
+            # Lazy import: repro.serve.client subclasses EngineSimulator,
+            # so a top-level import would be a cycle.
+            from ..serve.client import maybe_remote_simulator
+
+            remote = maybe_remote_simulator(self, task, budget)
+            if remote is not None:
+                return remote
         return EngineSimulator(task, budget=budget, engine=self)
 
     def evaluate(
@@ -315,11 +331,25 @@ class EngineSimulator(CircuitSimulator):
         self._fingerprint = task_fingerprint(task)
 
     # ------------------------------------------------------------------
+    def _evaluate_graphs(
+        self, graphs: List[PrefixGraph]
+    ) -> List[Tuple[float, float, float]]:
+        """The single point where graphs meet the engine.
+
+        Both the scalar ``query`` path and the batched ``query_plan``
+        path funnel through here with unique, legalized graphs; all
+        accounting (budget, memo, sim_index) happens in the callers.
+        :class:`repro.serve.client.RemoteEngineSimulator` overrides
+        exactly this method, which is what makes remote runs
+        bit-identical by construction.
+        """
+        return self.engine.evaluate(
+            self.task, graphs, self.telemetry, fingerprint=self._fingerprint
+        )
+
     def _synthesize(self, graph: PrefixGraph) -> Tuple[float, float, float]:
         """Single-design hook: persistent cache first, then the pool."""
-        return self.engine.evaluate(
-            self.task, [graph], self.telemetry, fingerprint=self._fingerprint
-        )[0]
+        return self._evaluate_graphs([graph])[0]
 
     def query(self, design) -> Evaluation:
         self.telemetry.add("queries")
@@ -389,10 +419,7 @@ class EngineSimulator(CircuitSimulator):
             )
 
         for graph, (cost, area_um2, delay_ns) in zip(
-            scheduled,
-            self.engine.evaluate(
-                self.task, scheduled, self.telemetry, fingerprint=self._fingerprint
-            ),
+            scheduled, self._evaluate_graphs(scheduled)
         ):
             evaluation = Evaluation(
                 graph=graph,

@@ -1,0 +1,50 @@
+"""``repro.serve`` — the shared, multi-tenant evaluation daemon.
+
+Promotes the per-process :class:`~repro.engine.EvaluationEngine` to a
+long-lived service: one daemon process owns one engine (one warm
+persistent cache, one synthesis worker pool) and multiplexes any number
+of concurrent clients over a unix-domain socket speaking a versioned,
+newline-delimited JSON protocol.
+
+Pieces
+------
+:mod:`repro.serve.protocol`
+    The wire format: strict request/response frames (hello,
+    submit_batch, poll, cancel, stats, shutdown) plus JSON forms for
+    :class:`~repro.circuits.task.CircuitTask` and
+    :class:`~repro.prefix.graph.PrefixGraph`.
+:mod:`repro.serve.daemon`
+    The asyncio server: per-tenant deficit-round-robin fair-share
+    scheduling over the engine, per-request timeouts, graceful drain on
+    SIGTERM/shutdown.
+:mod:`repro.serve.client`
+    :class:`~repro.serve.client.ServeClient` (blocking socket client)
+    and :class:`~repro.serve.client.RemoteEngineSimulator`, the
+    ``CircuitSimulator``-compatible facade sessions attach through when
+    ``$REPRO_ENGINE_SOCKET`` names a live daemon.  Budget accounting
+    stays client-side, so records are bit-identical to in-process runs.
+:mod:`repro.serve.compact`
+    Shard compaction + GC for the append-only JSONL evaluation cache
+    (duplicate-key dedup, size/age eviction, advisory-lock coordination
+    with live readers).
+
+CLI: ``python -m repro serve start|stop|status|compact`` (plus the
+internal ``serve run`` foreground loop ``start`` spawns).
+"""
+
+from .client import RemoteEngineSimulator, ServeClient, ServeUnavailable
+from .compact import CompactionReport, compact_cache_dir, compact_shard
+from .daemon import EvalDaemon
+from .protocol import PROTOCOL_VERSION, default_socket_path
+
+__all__ = [
+    "EvalDaemon",
+    "ServeClient",
+    "ServeUnavailable",
+    "RemoteEngineSimulator",
+    "CompactionReport",
+    "compact_cache_dir",
+    "compact_shard",
+    "PROTOCOL_VERSION",
+    "default_socket_path",
+]

@@ -1,0 +1,219 @@
+"""Compaction + GC for the append-only JSONL evaluation-cache shards.
+
+The :class:`~repro.engine.cache.EvaluationCache` disk store is
+append-only and last-writer-wins: every ``put`` adds a line, re-measured
+or re-written keys simply shadow their older lines.  That is perfect for
+crash-safety and multi-process sharing, but a daemon serving heavy
+traffic grows shards without bound — duplicate-shadowed lines are pure
+dead weight that every cold ``cache_load`` still has to parse.
+
+:func:`compact_shard` rewrites one shard keeping exactly the *live*
+record per key (the last occurrence), optionally applying an eviction
+policy:
+
+* ``max_age_seconds`` — drop records whose ``t`` timestamp (stamped by
+  ``EvaluationCache.put`` since the serve subsystem landed; older lines
+  carry none and are treated as infinitely old *only* when an age policy
+  is requested) is older than the cutoff.
+* ``max_entries`` — keep only the newest N live records (by line order,
+  which is append order).
+
+Invariants:
+
+* **Every live, non-evicted key survives with its newest metrics** — a
+  reader that could ``get`` a key before compaction gets bit-identical
+  metrics after (asserted by re-parsing the rewritten shard before it
+  replaces the original).
+* **The rewrite is atomic** (temp + ``os.replace``): a reader holding
+  the old file keeps a consistent view; a reader opening fresh sees the
+  compacted shard.  Live :class:`EvaluationCache` instances self-heal —
+  their per-key byte offsets go stale, which ``_reload_entry`` detects
+  and repairs with one rescan, and their incremental-reload positions
+  detect the shrink and reload from byte 0.
+* **One compactor at a time** per cache directory, via an advisory
+  pid-file lock (:class:`repro.utils.locks.PidFileLock`); stale locks
+  from dead compactors are stolen with a warning.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..utils.locks import PidFileLock
+
+__all__ = ["CompactionReport", "compact_shard", "compact_cache_dir"]
+
+#: compaction coordination file, directly inside the cache directory.
+LOCK_FILENAME = ".compact.lock.json"
+
+
+@dataclass
+class CompactionReport:
+    """What one compaction pass did, per shard and in total."""
+
+    cache_dir: str
+    shards: List[Dict] = field(default_factory=list)
+
+    @property
+    def lines_before(self) -> int:
+        return sum(s["lines_before"] for s in self.shards)
+
+    @property
+    def lines_after(self) -> int:
+        return sum(s["lines_after"] for s in self.shards)
+
+    @property
+    def bytes_before(self) -> int:
+        return sum(s["bytes_before"] for s in self.shards)
+
+    @property
+    def bytes_after(self) -> int:
+        return sum(s["bytes_after"] for s in self.shards)
+
+    @property
+    def evicted(self) -> int:
+        return sum(s["evicted"] for s in self.shards)
+
+    def to_dict(self) -> Dict:
+        return {
+            "cache_dir": self.cache_dir,
+            "shards": list(self.shards),
+            "lines_before": self.lines_before,
+            "lines_after": self.lines_after,
+            "bytes_before": self.bytes_before,
+            "bytes_after": self.bytes_after,
+            "evicted": self.evicted,
+        }
+
+
+def _scan_shard(path: str) -> Tuple[List[Tuple[str, Dict]], int, int]:
+    """(ordered live records, total lines, corrupt lines) for one shard.
+
+    A record is *live* when it is the last line for its key; live
+    records keep their final-occurrence order, so a compacted shard
+    replays into the same memory state as the original.  Corrupt lines
+    (crashed-writer truncation) are dropped — exactly what the loader
+    would have skipped anyway.
+    """
+    last_line: Dict[str, Dict] = {}
+    order: Dict[str, int] = {}
+    lines = corrupt = 0
+    seq = 0
+    with open(path, "rb") as handle:
+        for raw in handle:
+            stripped = raw.strip()
+            if not stripped:
+                continue
+            lines += 1
+            try:
+                record = json.loads(stripped)
+                key = str(record["k"])
+                float(record["a"]), float(record["d"])  # shape check
+            except (ValueError, KeyError, TypeError):
+                corrupt += 1
+                continue
+            last_line[key] = record
+            order[key] = seq  # last occurrence wins the ordering too
+            seq += 1
+    live = sorted(last_line.items(), key=lambda kv: order[kv[0]])
+    return live, lines, corrupt
+
+
+def compact_shard(
+    path: str,
+    max_age_seconds: Optional[float] = None,
+    max_entries: Optional[int] = None,
+    now: Optional[float] = None,
+) -> Dict:
+    """Rewrite one shard in place (atomically); returns its report row.
+
+    Dropping policy, in order: duplicate-shadowed lines always; then
+    records older than ``max_age_seconds`` (records without a ``t``
+    stamp count as infinitely old under an age policy); then all but the
+    newest ``max_entries`` records.
+    """
+    bytes_before = os.path.getsize(path)
+    live, lines_before, corrupt = _scan_shard(path)
+    evicted = 0
+    if max_age_seconds is not None:
+        cutoff = (now if now is not None else time.time()) - max_age_seconds
+        kept = [
+            (key, record)
+            for key, record in live
+            if float(record.get("t", 0.0)) >= cutoff
+        ]
+        evicted += len(live) - len(kept)
+        live = kept
+    if max_entries is not None and len(live) > max_entries:
+        evicted += len(live) - max_entries
+        live = live[-max_entries:]  # newest-by-append-order survive
+
+    payload = "".join(
+        json.dumps(record, separators=(",", ":")) + "\n" for _, record in live
+    )
+    # Verify before replacing: the compacted shard must reload into
+    # exactly the records we decided to keep.
+    reloaded = {}
+    for line in payload.splitlines():
+        record = json.loads(line)
+        reloaded[record["k"]] = (float(record["a"]), float(record["d"]))
+    expected = {
+        key: (float(record["a"]), float(record["d"])) for key, record in live
+    }
+    if reloaded != expected:  # pragma: no cover - structural self-check
+        raise RuntimeError(f"compaction self-check failed for {path}")
+
+    tmp = f"{path}.compact.{os.getpid()}.tmp"
+    with open(tmp, "w") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+    return {
+        "shard": os.path.basename(path),
+        "lines_before": lines_before,
+        "lines_after": len(live),
+        "bytes_before": bytes_before,
+        "bytes_after": os.path.getsize(path),
+        "corrupt_dropped": corrupt,
+        "duplicates_dropped": lines_before - corrupt - len(live) - evicted,
+        "evicted": evicted,
+    }
+
+
+def compact_cache_dir(
+    cache_dir: str,
+    max_age_seconds: Optional[float] = None,
+    max_entries: Optional[int] = None,
+) -> CompactionReport:
+    """Compact every ``*.jsonl`` shard under ``cache_dir``.
+
+    Takes the directory's advisory compaction lock for the whole pass
+    (one compactor at a time; live readers/writers are *not* excluded —
+    they self-heal, see the module docstring).  ``max_entries`` is
+    per-shard.
+    """
+    if not os.path.isdir(cache_dir):
+        raise ValueError(f"{cache_dir} is not a cache directory")
+    report = CompactionReport(cache_dir=os.path.abspath(cache_dir))
+    lock = PidFileLock(
+        os.path.join(cache_dir, LOCK_FILENAME),
+        purpose=f"evaluation-cache compaction of {cache_dir}",
+    )
+    with lock:
+        for name in sorted(os.listdir(cache_dir)):
+            if not name.endswith(".jsonl"):
+                continue
+            path = os.path.join(cache_dir, name)
+            report.shards.append(
+                compact_shard(
+                    path,
+                    max_age_seconds=max_age_seconds,
+                    max_entries=max_entries,
+                )
+            )
+    return report

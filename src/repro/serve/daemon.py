@@ -1,0 +1,635 @@
+"""The evaluation daemon: one warm engine, many tenants, fair shares.
+
+:class:`EvalDaemon` owns one :class:`~repro.engine.EvaluationEngine`
+(one persistent cache, one synthesis pool, one telemetry aggregate) and
+serves any number of concurrent clients over a unix-domain socket
+speaking the :mod:`repro.serve.protocol` frames.
+
+Scheduling
+----------
+Clients submit whole batches (a GA population, a BO candidate round, a
+single interactive query), but the scheduler never executes a whole
+batch as one unit.  Each tenant (= ``hello`` client name) has a FIFO of
+jobs and a **deficit counter**; the scheduler cycles tenants
+round-robin, tops the deficit up by ``quantum`` graphs per turn, and
+executes up to that many graphs from the tenant's head job through the
+engine.  A 64-graph population therefore costs its tenant eight turns of
+eight, and an interactive tenant's single-design job lands in between —
+per-tenant deficit round-robin, the classic O(1) fair queuing
+discipline.  Every slice execution is appended to ``schedule_trace``, so
+fairness is *observable*, not aspirational (the tests read the trace).
+
+Each job's graphs run through :meth:`EvaluationEngine.evaluate` with a
+per-job telemetry sink, so the result frame carries exactly the counter
+deltas (synth calls, cache hits, stage seconds) this job caused — the
+client folds them into its per-run telemetry and `RunRecord` keeps its
+meaning for remote runs.
+
+Tracing across the boundary
+---------------------------
+A ``submit_batch`` may carry the client's current span context.  The
+daemon then records a ``serve_job`` span (queue wait + execution)
+parented to that context, with one ``serve_evaluate`` child per
+scheduled slice, into a collect-mode tracer; the finished span dicts
+ship back in the result frame and the client re-emits them into its own
+sink — ``python -m repro report`` shows one coherent tree for a remote
+run.  When the daemon runs standalone (the CLI path),
+``capture_engine_spans=True`` additionally activates the job tracer
+around the engine call so cache/synthesis spans nest under the slice.
+
+Lifecycle
+---------
+SIGTERM (or a ``shutdown`` frame) starts a **graceful drain**: new
+submissions are refused with a ``draining`` error (clients fall back to
+their in-process engines), queued work is finished and stays pollable,
+and the process exits once every finished job was delivered (or a
+linger timeout passes).  Nothing is ever dropped mid-synthesis.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import os
+import signal
+import threading
+import time
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from typing import Deque, Dict, List, Optional, Tuple
+
+from ..circuits.task import CircuitTask
+from ..engine.cache import task_fingerprint
+from ..engine.service import EvaluationEngine
+from ..engine.telemetry import EngineTelemetry, snapshot_delta
+from ..obs import trace
+from ..prefix.graph import PrefixGraph
+from ..utils.io import atomic_write_json
+from . import protocol as wire
+
+__all__ = ["EvalDaemon", "run_daemon", "pid_file_path"]
+
+#: scheduler quantum: graphs one tenant may run per round-robin turn.
+DEFAULT_QUANTUM = 8
+#: how long a draining daemon waits for finished jobs to be polled.
+DEFAULT_LINGER = 10.0
+#: schedule_trace ring size (observability, not accounting).
+_TRACE_KEEP = 512
+
+
+def pid_file_path(socket_path: str) -> str:
+    return socket_path + ".pid.json"
+
+
+#: per-process job sequence feeding span-id prefixes: two jobs inside the
+#: same client trace must never mint colliding span ids (same rule the
+#: synthesis pool applies per (worker, job)).
+_JOB_SEQ = itertools.count(1)
+
+
+class _Job:
+    """One submitted batch moving through the scheduler."""
+
+    __slots__ = (
+        "id", "tenant", "task", "fingerprint", "graphs", "metrics",
+        "next_index", "state", "error_code", "error", "deadline",
+        "telemetry", "tracer", "root_span", "delivered", "created",
+    )
+
+    def __init__(
+        self,
+        job_id: str,
+        tenant: str,
+        task: CircuitTask,
+        fingerprint: str,
+        graphs: List[PrefixGraph],
+        span_ctx: Optional[trace.SpanContext],
+        timeout: Optional[float],
+    ) -> None:
+        self.id = job_id
+        self.tenant = tenant
+        self.task = task
+        self.fingerprint = fingerprint
+        self.graphs = graphs
+        self.metrics: List[Tuple[float, float]] = []
+        self.next_index = 0
+        self.state = "queued"  # queued|running|done|failed|cancelled
+        self.error_code = ""
+        self.error = ""
+        self.created = time.monotonic()
+        self.deadline = self.created + timeout if timeout is not None else None
+        self.telemetry = EngineTelemetry()
+        self.delivered = False
+        if span_ctx is not None:
+            self.tracer = trace.Tracer(
+                collect=True,
+                trace_id=span_ctx[0],
+                id_prefix=f"d{os.getpid():x}j{next(_JOB_SEQ):x}-",
+            )
+            self.root_span = self.tracer.span(
+                "serve_job",
+                attrs={"tenant": tenant, "batch": len(graphs)},
+                parent=span_ctx,
+            )
+        else:
+            self.tracer = None
+            self.root_span = None
+
+    @property
+    def terminal(self) -> bool:
+        return self.state in ("done", "failed", "cancelled")
+
+    def fail(self, code: str, message: str) -> None:
+        self.state = "failed"
+        self.error_code = code
+        self.error = message
+        self._close_root(status=code)
+
+    def _close_root(self, status: str) -> None:
+        if self.root_span is not None:
+            self.root_span.set_attr("status", status)
+            self.root_span.set_attr("slices", len(self.graphs))
+            self.root_span.finish()
+            self.root_span = None
+
+
+class _Tenant:
+    """One fair-share queue: FIFO of jobs plus the DRR deficit."""
+
+    __slots__ = ("name", "jobs", "deficit")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.jobs: Deque[_Job] = deque()
+        self.deficit = 0
+
+    def pending_graphs(self) -> int:
+        return sum(len(j.graphs) - j.next_index for j in self.jobs)
+
+
+class EvalDaemon:
+    """The asyncio server; see the module docstring for semantics.
+
+    Parameters
+    ----------
+    socket_path:
+        Unix-domain socket to listen on (created on ``serve``, removed
+        on exit).
+    engine:
+        Adopt an existing engine (tests); otherwise one is built from
+        ``cache_dir`` / ``workers`` and closed on exit.
+    quantum:
+        Graphs per tenant per scheduler turn (fair-share granularity).
+    capture_engine_spans:
+        Activate each job's collect-tracer around engine calls so
+        engine-internal spans (cache loads, synthesis stages) ship back
+        too.  Enable only when the daemon process runs nothing else
+        traced (the standalone CLI daemon does; embedded test daemons
+        must not, they share the process with traced clients).
+    """
+
+    def __init__(
+        self,
+        socket_path: str,
+        engine: Optional[EvaluationEngine] = None,
+        cache_dir: Optional[str] = None,
+        workers: Optional[int] = None,
+        quantum: int = DEFAULT_QUANTUM,
+        linger: float = DEFAULT_LINGER,
+        capture_engine_spans: bool = False,
+    ) -> None:
+        if quantum < 1:
+            raise ValueError("quantum must be >= 1")
+        self.socket_path = socket_path
+        self._owns_engine = engine is None
+        self.engine = (
+            engine
+            if engine is not None
+            else EvaluationEngine(cache_dir=cache_dir, workers=workers)
+        )
+        self.quantum = quantum
+        self.linger = linger
+        self.capture_engine_spans = capture_engine_spans
+        self._jobs: Dict[str, _Job] = {}
+        self._tenants: Dict[str, _Tenant] = {}
+        self._ring: Deque[str] = deque()
+        self.schedule_trace: List[Dict] = []
+        self._schedule_seq = 0
+        self.jobs_completed = 0
+        self.jobs_failed = 0
+        self.jobs_cancelled = 0
+        self._started = time.monotonic()
+        self._tasks: Dict[str, CircuitTask] = {}
+        self.draining = False
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._work: Optional[asyncio.Event] = None
+        self._drained: Optional[asyncio.Event] = None
+        self._shutdown_complete: Optional[asyncio.Event] = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="serve-eval"
+        )
+        #: set once the socket is bound and accepting (thread-start sync).
+        self.ready = threading.Event()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def serve(self) -> None:
+        """Bind, schedule and run until drained (SIGTERM / shutdown)."""
+        self._loop = asyncio.get_running_loop()
+        self._work = asyncio.Event()
+        self._drained = asyncio.Event()
+        self._shutdown_complete = asyncio.Event()
+        self._install_signal_handlers()
+        if os.path.exists(self.socket_path):
+            # A previous daemon crashed without cleanup; a live one would
+            # have been detected by `serve start` before spawning us.
+            os.unlink(self.socket_path)
+        server = await asyncio.start_unix_server(
+            self._handle_connection, path=self.socket_path
+        )
+        atomic_write_json(
+            pid_file_path(self.socket_path),
+            {"pid": os.getpid(), "socket": self.socket_path},
+        )
+        scheduler = asyncio.ensure_future(self._scheduler())
+        finisher = asyncio.ensure_future(self._finisher())
+        self.ready.set()
+        try:
+            await self._shutdown_complete.wait()
+        finally:
+            server.close()
+            await server.wait_closed()
+            for task in (scheduler, finisher):
+                task.cancel()
+            await asyncio.gather(scheduler, finisher, return_exceptions=True)
+            self._cleanup_files()
+            self._executor.shutdown(wait=True)
+            if self._owns_engine:
+                self.engine.close()
+
+    def _install_signal_handlers(self) -> None:
+        assert self._loop is not None
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                self._loop.add_signal_handler(signum, self.begin_drain)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass  # non-main thread (embedded daemon) or platform limits
+
+    def _cleanup_files(self) -> None:
+        for path in (self.socket_path, pid_file_path(self.socket_path)):
+            try:
+                os.unlink(path)
+            except OSError:
+                pass
+
+    def begin_drain(self) -> None:
+        """Refuse new work, finish queued work, exit when delivered.
+
+        Threadsafe (it is the SIGTERM handler); idempotent.
+        """
+        if self._loop is None:
+            self.draining = True
+            return
+        self._loop.call_soon_threadsafe(self._begin_drain_in_loop)
+
+    def _begin_drain_in_loop(self) -> None:
+        if not self.draining:
+            self.draining = True
+            assert self._work is not None
+            self._work.set()  # wake the scheduler even if idle
+
+    def run_in_thread(self) -> threading.Thread:
+        """Run the daemon on a dedicated thread (tests, benchmarks).
+
+        Returns the started thread once the socket is accepting; stop it
+        with :meth:`begin_drain` (all queued work still completes).
+        """
+        thread = threading.Thread(
+            target=lambda: asyncio.run(self.serve()),
+            name="serve-daemon",
+            daemon=True,
+        )
+        thread.start()
+        if not self.ready.wait(timeout=10.0):
+            raise RuntimeError("daemon failed to start within 10s")
+        return thread
+
+    # ------------------------------------------------------------------
+    # Scheduler: per-tenant deficit round-robin
+    # ------------------------------------------------------------------
+    async def _scheduler(self) -> None:
+        assert self._work is not None and self._drained is not None
+        while True:
+            if not self._ring:
+                if self.draining:
+                    self._drained.set()
+                self._work.clear()
+                await self._work.wait()
+                continue
+            name = self._ring.popleft()
+            tenant = self._tenants[name]
+            self._prune_cancelled(tenant)
+            if not tenant.jobs:
+                tenant.deficit = 0
+                continue
+            tenant.deficit += self.quantum
+            job = tenant.jobs[0]
+            if job.deadline is not None and time.monotonic() > job.deadline:
+                job.fail("timeout", f"job {job.id} exceeded its timeout")
+                self.jobs_failed += 1
+                tenant.jobs.popleft()
+                if tenant.jobs:
+                    self._ring.append(name)
+                continue
+            take = min(tenant.deficit, len(job.graphs) - job.next_index)
+            tenant.deficit -= take
+            job.state = "running"
+            self._schedule_seq += 1
+            self.schedule_trace.append(
+                {
+                    "seq": self._schedule_seq,
+                    "tenant": name,
+                    "job": job.id,
+                    "count": take,
+                    "offset": job.next_index,
+                }
+            )
+            del self.schedule_trace[:-_TRACE_KEEP]
+            try:
+                chunk = await self._evaluate_slice(
+                    job, job.graphs[job.next_index : job.next_index + take]
+                )
+            except Exception as error:  # synthesis failure: job, not daemon
+                job.fail("failed", f"{type(error).__name__}: {error}")
+                self.jobs_failed += 1
+                tenant.jobs.popleft()
+            else:
+                job.metrics.extend(chunk)
+                job.next_index += take
+                if job.next_index == len(job.graphs):
+                    job.state = "done"
+                    job._close_root(status="done")
+                    self.jobs_completed += 1
+                    tenant.jobs.popleft()
+            if tenant.jobs:
+                self._ring.append(name)
+            else:
+                tenant.deficit = 0
+
+    def _prune_cancelled(self, tenant: _Tenant) -> None:
+        while tenant.jobs and tenant.jobs[0].state == "cancelled":
+            tenant.jobs.popleft()
+
+    async def _evaluate_slice(
+        self, job: _Job, graphs: List[PrefixGraph]
+    ) -> List[Tuple[float, float]]:
+        """One quantum of one job through the engine, off the loop."""
+        assert self._loop is not None
+
+        def run() -> List[Tuple[float, float]]:
+            def evaluate() -> List[Tuple[float, float]]:
+                out = self.engine.evaluate(
+                    job.task,
+                    graphs,
+                    job.telemetry,
+                    fingerprint=job.fingerprint,
+                )
+                return [(area, delay) for _, area, delay in out]
+
+            if job.tracer is None or job.root_span is None:
+                return evaluate()
+            with job.tracer.span(
+                "serve_evaluate",
+                attrs={"tenant": job.tenant, "slice": len(graphs)},
+                parent=job.root_span.context,
+            ):
+                if self.capture_engine_spans and not trace.active():
+                    with job.tracer.activate():
+                        return evaluate()
+                return evaluate()
+
+        return await self._loop.run_in_executor(self._executor, run)
+
+    # ------------------------------------------------------------------
+    # Connection handling
+    # ------------------------------------------------------------------
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        tenant_name = "anonymous"
+        try:
+            while True:
+                try:
+                    line = await reader.readline()
+                except (ConnectionError, OSError):
+                    break
+                if not line:
+                    break
+                try:
+                    frame = wire.decode(line)
+                except wire.ProtocolError as error:
+                    reply: wire._Frame = wire.ErrorReply(
+                        code="bad_request", message=str(error)
+                    )
+                else:
+                    if isinstance(frame, wire.Hello):
+                        tenant_name = frame.client or "anonymous"
+                    reply = self._dispatch(frame, tenant_name)
+                writer.write(wire.encode(reply))
+                try:
+                    await writer.drain()
+                except (ConnectionError, OSError):
+                    break
+                if isinstance(reply, wire.Bye):
+                    break
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    def _dispatch(self, frame: wire._Frame, tenant_name: str) -> wire._Frame:
+        if isinstance(frame, wire.Hello):
+            return wire.Welcome(
+                server_pid=os.getpid(),
+                draining=self.draining,
+                cache_entries=len(self.engine.cache),
+            )
+        if isinstance(frame, wire.SubmitBatch):
+            return self._handle_submit(frame, tenant_name)
+        if isinstance(frame, wire.Poll):
+            return self._handle_poll(frame)
+        if isinstance(frame, wire.Cancel):
+            return self._handle_cancel(frame)
+        if isinstance(frame, wire.StatsRequest):
+            return self._handle_stats()
+        if isinstance(frame, wire.Shutdown):
+            self._begin_drain_in_loop()
+            return wire.Bye()
+        return wire.ErrorReply(
+            code="bad_request",
+            message=f"unexpected frame type {frame.TYPE!r} on the server side",
+        )
+
+    def _handle_submit(
+        self, frame: wire.SubmitBatch, tenant_name: str
+    ) -> wire._Frame:
+        if self.draining:
+            return wire.ErrorReply(
+                code="draining",
+                message="daemon is draining; run in-process instead",
+                id=frame.id,
+            )
+        if not frame.id:
+            return wire.ErrorReply(code="bad_request", message="job needs an id")
+        if frame.id in self._jobs:
+            return wire.ErrorReply(
+                code="bad_request",
+                message=f"job id {frame.id!r} already exists",
+                id=frame.id,
+            )
+        try:
+            fingerprint, task = self._resolve_task(frame)
+            graphs = wire.graphs_from_wire(frame.graphs)
+        except wire.ProtocolError as error:
+            return wire.ErrorReply(
+                code="bad_request", message=str(error), id=frame.id
+            )
+        span_ctx: Optional[trace.SpanContext] = None
+        if frame.span is not None and len(frame.span) == 2:
+            span_ctx = (str(frame.span[0]), str(frame.span[1]))
+        tenant = frame.tenant or tenant_name
+        job = _Job(
+            frame.id, tenant, task, fingerprint, graphs, span_ctx, frame.timeout
+        )
+        position = sum(t.pending_graphs() for t in self._tenants.values())
+        self._jobs[job.id] = job
+        queue = self._tenants.get(tenant)
+        if queue is None:
+            queue = self._tenants[tenant] = _Tenant(tenant)
+        was_empty = not queue.jobs
+        queue.jobs.append(job)
+        if was_empty:
+            self._ring.append(tenant)
+        assert self._work is not None
+        self._work.set()
+        return wire.Accepted(id=job.id, position=position)
+
+    def _resolve_task(self, frame: wire.SubmitBatch) -> Tuple[str, CircuitTask]:
+        """Rebuild (or reuse) the task; verify the client's fingerprint.
+
+        The daemon recomputes the fingerprint from the task it actually
+        rebuilt — a client naming fingerprint X while shipping task Y
+        would poison the shared cache for every other tenant.
+        """
+        declared = frame.fingerprint
+        cached = self._tasks.get(declared) if declared else None
+        if cached is not None:
+            return declared, cached
+        task = wire.task_from_dict(frame.task)
+        fingerprint = task_fingerprint(task)
+        if declared and declared != fingerprint:
+            raise wire.ProtocolError(
+                f"fingerprint mismatch: client declared {declared}, "
+                f"task hashes to {fingerprint}"
+            )
+        self._tasks[fingerprint] = task
+        return fingerprint, task
+
+    def _handle_poll(self, frame: wire.Poll) -> wire._Frame:
+        job = self._jobs.get(frame.id)
+        if job is None:
+            return wire.ErrorReply(
+                code="unknown_job",
+                message=f"no job {frame.id!r}",
+                id=frame.id,
+            )
+        if job.state in ("queued", "running"):
+            return wire.Pending(
+                id=job.id, done=job.next_index, total=len(job.graphs)
+            )
+        if job.state == "cancelled":
+            return wire.ErrorReply(
+                code="cancelled", message=f"job {job.id} was cancelled", id=job.id
+            )
+        if job.state == "failed":
+            job.delivered = True
+            return wire.ErrorReply(
+                code=job.error_code or "failed", message=job.error, id=job.id
+            )
+        job.delivered = True
+        spans = job.tracer.drain() if job.tracer is not None else []
+        counters = snapshot_delta({}, job.telemetry.as_dict())
+        self._jobs.pop(job.id, None)  # delivered results need no memory
+        return wire.BatchResult(
+            id=job.id,
+            metrics=[[area, delay] for area, delay in job.metrics],
+            counters=counters,
+            spans=spans,
+        )
+
+    def _handle_cancel(self, frame: wire.Cancel) -> wire._Frame:
+        job = self._jobs.get(frame.id)
+        if job is None:
+            return wire.ErrorReply(
+                code="unknown_job", message=f"no job {frame.id!r}", id=frame.id
+            )
+        if not job.terminal:
+            job.state = "cancelled"
+            job._close_root(status="cancelled")
+            self.jobs_cancelled += 1
+        return wire.Cancelled(id=frame.id)
+
+    def _handle_stats(self) -> wire.StatsReply:
+        return wire.StatsReply(
+            server_pid=os.getpid(),
+            draining=self.draining,
+            uptime_seconds=time.monotonic() - self._started,
+            jobs_completed=self.jobs_completed,
+            jobs_failed=self.jobs_failed,
+            jobs_cancelled=self.jobs_cancelled,
+            queues={
+                name: tenant.pending_graphs()
+                for name, tenant in self._tenants.items()
+                if tenant.jobs
+            },
+            schedule=list(self.schedule_trace),
+            telemetry=self.engine.telemetry.as_dict(),
+            cache=self.engine.cache.stats(),
+        )
+
+    # ------------------------------------------------------------------
+    async def _finisher(self) -> None:
+        """Exit once drained work has been delivered (or linger expires)."""
+        assert self._drained is not None and self._shutdown_complete is not None
+        await self._drained.wait()
+        deadline = time.monotonic() + self.linger
+        while time.monotonic() < deadline:
+            undelivered = [
+                job
+                for job in self._jobs.values()
+                if job.terminal and not job.delivered and job.state != "cancelled"
+            ]
+            if not undelivered:
+                break
+            await asyncio.sleep(0.05)
+        self._shutdown_complete.set()
+
+
+def run_daemon(
+    socket_path: str,
+    cache_dir: Optional[str] = None,
+    workers: Optional[int] = None,
+    quantum: int = DEFAULT_QUANTUM,
+) -> None:
+    """Blocking foreground daemon loop (the ``serve run`` CLI verb)."""
+    daemon = EvalDaemon(
+        socket_path,
+        cache_dir=cache_dir,
+        workers=workers,
+        quantum=quantum,
+        capture_engine_spans=True,
+    )
+    asyncio.run(daemon.serve())

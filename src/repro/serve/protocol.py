@@ -1,0 +1,429 @@
+"""The daemon's wire protocol: versioned newline-delimited JSON frames.
+
+One frame per line, UTF-8 JSON, every frame carrying ``{"v": 1,
+"type": ...}``.  The client speaks strict request/response over one
+unix-domain socket connection: each request line receives exactly one
+response line, so the blocking client never has to demultiplex.
+
+Frame vocabulary (requests -> responses)::
+
+    hello        -> welcome          handshake; names the tenant
+    submit_batch -> accepted | error enqueue one evaluation batch
+    poll         -> pending | result | error   job progress / results
+    cancel       -> cancelled | error          drop a queued job
+    stats        -> stats_reply      scheduler + engine observability
+    shutdown     -> bye              ask the daemon to drain and exit
+
+Validation mirrors :mod:`repro.api.spec` discipline: ``from_dict``
+rejects unknown fields, :func:`decode` rejects unknown frame types and
+protocol-version mismatches, so a confused client fails with a clear
+error instead of a daemon-side traceback.
+
+The module also owns the JSON forms of the two domain objects that cross
+the wire: :func:`task_to_dict` / :func:`task_from_dict` serialize a full
+:class:`~repro.circuits.task.CircuitTask` (exactly the fields
+:func:`~repro.engine.cache.task_fingerprint` covers, so a rebuilt task
+is synthesis-bit-identical by construction), and graphs ride as the
+:mod:`repro.prefix.io` node-list form.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Type
+
+from ..circuits.task import CircuitTask
+from ..prefix.graph import PrefixGraph
+from ..prefix.io import graph_from_dict, graph_to_dict
+from ..synth.library import Cell, CellLibrary
+from ..synth.physical import SynthesisOptions
+from ..synth.timing import IOTiming
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "default_socket_path",
+    "task_to_dict",
+    "task_from_dict",
+    "graphs_to_wire",
+    "graphs_from_wire",
+    "encode",
+    "decode",
+    "Hello",
+    "Welcome",
+    "SubmitBatch",
+    "Accepted",
+    "Poll",
+    "Pending",
+    "BatchResult",
+    "Cancel",
+    "Cancelled",
+    "StatsRequest",
+    "StatsReply",
+    "Shutdown",
+    "Bye",
+    "ErrorReply",
+]
+
+PROTOCOL_VERSION = 1
+
+#: the env knob clients attach through (unset = in-process engine).
+ENV_SOCKET = "REPRO_ENGINE_SOCKET"
+
+
+def default_socket_path() -> Optional[str]:
+    """The daemon socket named by ``$REPRO_ENGINE_SOCKET`` (None = off)."""
+    value = os.environ.get(ENV_SOCKET, "").strip()
+    return value or None
+
+
+class ProtocolError(ValueError):
+    """A frame failed validation (unknown type/field, version mismatch)."""
+
+
+# ----------------------------------------------------------------------
+# Domain-object wire forms
+# ----------------------------------------------------------------------
+def task_to_dict(task: CircuitTask) -> Dict[str, Any]:
+    """Everything needed to rebuild a synthesis-bit-identical task.
+
+    The field set is a superset of the cache fingerprint's payload
+    (:func:`repro.engine.cache.task_fingerprint`): fingerprint fields
+    make the rebuilt task produce identical metrics; ``name`` and
+    ``delay_weight`` ride along so display and client-side cost
+    recomputation match too.
+    """
+    library = task.library
+    return {
+        "name": task.name,
+        "n": task.n,
+        "delay_weight": task.delay_weight,
+        "circuit_type": task.circuit_type,
+        "library": {
+            "name": library.name,
+            "tau_ns": library.tau_ns,
+            "wire_cap_per_um": library.wire_cap_per_um,
+            "bit_pitch_um": library.bit_pitch_um,
+            "row_height_um": library.row_height_um,
+            "cells": [
+                {
+                    "name": cell.name,
+                    "function": cell.function,
+                    "drive": cell.drive,
+                    "area": cell.area,
+                    "input_cap": cell.input_cap,
+                    "logical_effort": cell.logical_effort,
+                    "intrinsic_delay": cell.intrinsic_delay,
+                }
+                for cell in (
+                    library.cell(name) for name in sorted(library._cells)
+                )
+            ],
+        },
+        "io_timing": {
+            "input_arrival": dict(task.io_timing.input_arrival),
+            "output_margin": dict(task.io_timing.output_margin),
+        },
+        "options": {
+            "max_fanout": task.options.max_fanout,
+            "sizing_passes": task.options.sizing_passes,
+            "area_recovery": task.options.area_recovery,
+            "slack_threshold": task.options.slack_threshold,
+            "mapping_style": task.options.mapping_style,
+        },
+    }
+
+
+def task_from_dict(payload: Mapping[str, Any]) -> CircuitTask:
+    """Rebuild the :class:`CircuitTask` :func:`task_to_dict` described."""
+    try:
+        lib = payload["library"]
+        library = CellLibrary(
+            name=str(lib["name"]),
+            cells=[
+                Cell(
+                    name=str(c["name"]),
+                    function=str(c["function"]),
+                    drive=int(c["drive"]),
+                    area=float(c["area"]),
+                    input_cap=float(c["input_cap"]),
+                    logical_effort=float(c["logical_effort"]),
+                    intrinsic_delay=float(c["intrinsic_delay"]),
+                )
+                for c in lib["cells"]
+            ],
+            tau_ns=float(lib["tau_ns"]),
+            wire_cap_per_um=float(lib["wire_cap_per_um"]),
+            bit_pitch_um=float(lib["bit_pitch_um"]),
+            row_height_um=float(lib["row_height_um"]),
+        )
+        io = payload["io_timing"]
+        options = payload["options"]
+        return CircuitTask(
+            name=str(payload["name"]),
+            n=int(payload["n"]),
+            delay_weight=float(payload["delay_weight"]),
+            circuit_type=str(payload["circuit_type"]),
+            library=library,
+            io_timing=IOTiming(
+                input_arrival={
+                    str(k): float(v) for k, v in io["input_arrival"].items()
+                },
+                output_margin={
+                    str(k): float(v) for k, v in io["output_margin"].items()
+                },
+            ),
+            options=SynthesisOptions(
+                max_fanout=int(options["max_fanout"]),
+                sizing_passes=int(options["sizing_passes"]),
+                area_recovery=bool(options["area_recovery"]),
+                slack_threshold=float(options["slack_threshold"]),
+                mapping_style=str(options["mapping_style"]),
+            ),
+        )
+    except (KeyError, TypeError, ValueError) as error:
+        raise ProtocolError(f"malformed task payload: {error}") from error
+
+
+def graphs_to_wire(graphs: List[PrefixGraph]) -> List[Dict]:
+    return [graph_to_dict(graph) for graph in graphs]
+
+
+def graphs_from_wire(payload: List[Dict]) -> List[PrefixGraph]:
+    try:
+        return [graph_from_dict(entry) for entry in payload]
+    except (KeyError, TypeError, ValueError) as error:
+        raise ProtocolError(f"malformed graph payload: {error}") from error
+
+
+# ----------------------------------------------------------------------
+# Frames
+# ----------------------------------------------------------------------
+_FRAME_TYPES: Dict[str, Type["_Frame"]] = {}
+
+
+def _register(cls: Type["_Frame"]) -> Type["_Frame"]:
+    _FRAME_TYPES[cls.TYPE] = cls
+    return cls
+
+
+@dataclass(frozen=True)
+class _Frame:
+    """Shared machinery: strict dict/JSON round-trips per frame type."""
+
+    TYPE = ""  # overridden per subclass
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"v": PROTOCOL_VERSION, "type": self.TYPE}
+        for f in fields(self):
+            payload[f.name] = getattr(self, f.name)
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "_Frame":
+        body = {k: v for k, v in payload.items() if k not in ("v", "type")}
+        known = {f.name for f in fields(cls)}
+        unknown = sorted(set(body) - known)
+        if unknown:
+            raise ProtocolError(
+                f"{cls.TYPE} frame: unknown field(s) {unknown}; "
+                f"known: {sorted(known)}"
+            )
+        try:
+            return cls(**body)
+        except TypeError as error:
+            raise ProtocolError(f"{cls.TYPE} frame: {error}") from error
+
+
+@_register
+@dataclass(frozen=True)
+class Hello(_Frame):
+    """Handshake: names the client (= the fair-share tenant) and pid."""
+
+    TYPE = "hello"
+    client: str = "anonymous"
+    pid: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class Welcome(_Frame):
+    TYPE = "welcome"
+    server_pid: int = 0
+    draining: bool = False
+    #: entries currently resident in the daemon cache's memory front —
+    #: what a warm attach inherits without any cache_load of its own.
+    cache_entries: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class SubmitBatch(_Frame):
+    """One evaluation batch: unique legalized graphs of one task.
+
+    The client owns dedup and budget accounting (exactly the
+    :meth:`~repro.engine.service.EvaluationEngine.evaluate` contract);
+    the daemon owns caching, scheduling and synthesis.  ``span`` is an
+    optional ``[trace_id, span_id]`` pair naming the client span the
+    daemon's scheduling/synthesis spans are parented under.
+    """
+
+    TYPE = "submit_batch"
+    id: str = ""
+    tenant: str = "anonymous"
+    task: Dict[str, Any] = field(default_factory=dict)
+    fingerprint: str = ""
+    graphs: List[Dict] = field(default_factory=list)
+    span: Optional[List[str]] = None
+    timeout: Optional[float] = None
+
+
+@_register
+@dataclass(frozen=True)
+class Accepted(_Frame):
+    TYPE = "accepted"
+    id: str = ""
+    #: jobs already queued ahead of this one, across all tenants.
+    position: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class Poll(_Frame):
+    TYPE = "poll"
+    id: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class Pending(_Frame):
+    TYPE = "pending"
+    id: str = ""
+    done: int = 0
+    total: int = 0
+
+
+@_register
+@dataclass(frozen=True)
+class BatchResult(_Frame):
+    """A finished job: per-graph metrics in submission order."""
+
+    TYPE = "result"
+    id: str = ""
+    #: ``[[area_um2, delay_ns], ...]``, one per submitted graph.
+    metrics: List[List[float]] = field(default_factory=list)
+    #: engine-counter deltas attributable to this job (synth_calls,
+    #: memory/disk hits, stage seconds...) for client telemetry folding.
+    counters: Dict[str, Any] = field(default_factory=dict)
+    #: finished span dicts recorded daemon-side, parent ids already
+    #: resolved against the submitted span context; the client re-emits
+    #: them into its own sink (:meth:`repro.obs.trace.Tracer.emit_raw`).
+    spans: List[Dict] = field(default_factory=list)
+
+
+@_register
+@dataclass(frozen=True)
+class Cancel(_Frame):
+    TYPE = "cancel"
+    id: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class Cancelled(_Frame):
+    TYPE = "cancelled"
+    id: str = ""
+
+
+@_register
+@dataclass(frozen=True)
+class StatsRequest(_Frame):
+    TYPE = "stats"
+
+
+@_register
+@dataclass(frozen=True)
+class StatsReply(_Frame):
+    TYPE = "stats_reply"
+    server_pid: int = 0
+    draining: bool = False
+    uptime_seconds: float = 0.0
+    jobs_completed: int = 0
+    jobs_failed: int = 0
+    jobs_cancelled: int = 0
+    #: per-tenant queued graph counts (fair-share queue depths).
+    queues: Dict[str, int] = field(default_factory=dict)
+    #: the scheduler's recent execution order: ``[{tenant, job, count,
+    #: seq}, ...]`` — the submission-order trace the fair-share tests
+    #: (and curious operators) read.
+    schedule: List[Dict] = field(default_factory=list)
+    telemetry: Dict[str, Any] = field(default_factory=dict)
+    cache: Dict[str, Any] = field(default_factory=dict)
+
+
+@_register
+@dataclass(frozen=True)
+class Shutdown(_Frame):
+    TYPE = "shutdown"
+
+
+@_register
+@dataclass(frozen=True)
+class Bye(_Frame):
+    TYPE = "bye"
+
+
+@_register
+@dataclass(frozen=True)
+class ErrorReply(_Frame):
+    """Request-level failure.  ``code`` is machine-readable:
+
+    ``draining``
+        The daemon is shutting down and refuses new work (clients fall
+        back to their in-process engine).
+    ``unknown_job`` / ``cancelled`` / ``timeout`` / ``failed``
+        Poll outcomes for jobs that cannot produce results.
+    ``bad_request``
+        The frame failed validation daemon-side.
+    """
+
+    TYPE = "error"
+    code: str = "bad_request"
+    message: str = ""
+    id: Optional[str] = None
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+def encode(frame: _Frame) -> bytes:
+    """One frame as one newline-terminated JSON line."""
+    return (
+        json.dumps(frame.to_dict(), separators=(",", ":")) + "\n"
+    ).encode("utf-8")
+
+
+def decode(line: bytes) -> _Frame:
+    """Parse and validate one wire line into its typed frame."""
+    try:
+        payload = json.loads(line.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise ProtocolError(f"undecodable frame: {error}") from error
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"frame must be an object, got {type(payload).__name__}")
+    version = payload.get("v")
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: got {version!r}, "
+            f"this side speaks {PROTOCOL_VERSION}"
+        )
+    frame_type = payload.get("type")
+    cls = _FRAME_TYPES.get(frame_type)
+    if cls is None:
+        raise ProtocolError(
+            f"unknown frame type {frame_type!r}; "
+            f"known: {sorted(_FRAME_TYPES)}"
+        )
+    return cls.from_dict(payload)

@@ -1,0 +1,102 @@
+"""Advisory pid-file locks shared by the run-directory and cache layers.
+
+The repo has two places where exactly-one-live-process coordination
+matters: a run directory being executed (:mod:`repro.api.rundir`) and an
+evaluation-cache directory being compacted (:mod:`repro.serve.compact`).
+Both use the same discipline:
+
+* the lock is a small JSON file naming the owning pid, written
+  atomically;
+* a lock whose pid is dead (the SIGKILLed run a resume exists for, a
+  crashed compactor) is **stolen** with a :class:`RuntimeWarning` naming
+  the dead pid — silent stealing hides the fact that a previous process
+  died uncleanly;
+* a lock whose pid is alive is respected (the caller raises or waits).
+
+Advisory only: a pathological simultaneous acquire can still race, but
+the realistic double-execution mistakes are caught.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from typing import Optional
+
+from .io import atomic_write_json
+
+__all__ = ["pid_alive", "read_lock_pid", "warn_stale_lock", "PidFileLock"]
+
+
+def pid_alive(pid: int) -> bool:
+    """Best-effort liveness probe for an advisory lock owner."""
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except (PermissionError, OSError):
+        pass  # exists but owned elsewhere — treat as alive
+    return True
+
+
+def read_lock_pid(path: str) -> Optional[int]:
+    """The pid recorded in a lock file, or None if unreadable/absent."""
+    try:
+        with open(path) as handle:
+            return int(json.load(handle).get("pid"))
+    except (ValueError, TypeError, OSError):
+        return None
+
+
+def warn_stale_lock(path: str, pid: Optional[int]) -> None:
+    """Announce that a stale advisory lock is being stolen.
+
+    Naming the dead pid matters: it tells the operator *which* previous
+    process died uncleanly (e.g. the SIGKILLed run a resume recovers).
+    """
+    owner = f"dead process {pid}" if pid is not None else "an unreadable lock"
+    warnings.warn(
+        f"stealing stale advisory lock {path} left by {owner}",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
+class PidFileLock:
+    """One advisory pid-file lock (used by cache compaction).
+
+    ``acquire`` raises :class:`ValueError` when a live process holds the
+    lock; a stale lock is stolen with a :class:`RuntimeWarning`.  Usable
+    as a context manager.
+    """
+
+    def __init__(self, path: str, purpose: str = "resource") -> None:
+        self.path = path
+        self.purpose = purpose
+
+    def acquire(self) -> None:
+        if os.path.exists(self.path):
+            pid = read_lock_pid(self.path)
+            if pid is not None and pid != os.getpid() and pid_alive(pid):
+                raise ValueError(
+                    f"{self.purpose} is locked by live process {pid} "
+                    f"({self.path}); wait for it (or remove the lock if "
+                    "it is wrong)"
+                )
+            if pid != os.getpid():  # re-acquiring our own lock is silent
+                warn_stale_lock(self.path, pid)
+        atomic_write_json(self.path, {"pid": os.getpid()})
+
+    def release(self) -> None:
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    def __enter__(self) -> "PidFileLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()

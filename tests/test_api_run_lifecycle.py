@@ -386,13 +386,16 @@ class TestInterruptBoundaries:
                     session.resume(out)
         finally:
             run_dir.release_lock()
-        # a stale lock (dead pid) is stolen: resume proceeds
+        # a stale lock (dead pid) is stolen: resume proceeds, but the
+        # steal is announced with a warning naming the dead pid
         import json as _json
 
+        dead_pid = 2 ** 22 + 12345  # unlikely-live pid
         with open(run_dir._lock_path(), "w") as handle:
-            _json.dump({"pid": 2 ** 22 + 12345}, handle)  # unlikely-live pid
-        with Session() as session:
-            session.resume(out).result()
+            _json.dump({"pid": dead_pid}, handle)
+        with pytest.warns(RuntimeWarning, match=f"stale advisory lock.*{dead_pid}"):
+            with Session() as session:
+                session.resume(out).result()
         assert not os.path.exists(run_dir._lock_path())  # released on settle
 
 

@@ -1,5 +1,7 @@
 """Tests for the parallel/persistent/batched evaluation engine (repro.engine)."""
 
+import json
+
 import numpy as np
 import pytest
 
@@ -144,6 +146,69 @@ class TestEvaluationCache:
         evicting.put(fp, other.key(), (0.0, 0.0))  # evicts the loaded entry
         assert evicting.get(fp, key) == (9.0, 10.0)
 
+    def test_external_append_is_read_incrementally(self, task, tmp_path, monkeypatch):
+        # A long-lived reader (the serve daemon) must not re-parse the
+        # whole shard every time another process appends: only the tail
+        # past its per-shard read position gets parsed.
+        fp = task_fingerprint(task)
+        graphs = unique_graphs(16, 6)
+        writer = EvaluationCache(cache_dir=str(tmp_path))
+        for i, graph in enumerate(graphs[:4]):
+            writer.put(fp, graph.key(), (float(i), 1.0))
+        reader = EvaluationCache(cache_dir=str(tmp_path))
+        assert reader.get(fp, graphs[0].key()) == (0.0, 1.0)
+        # another process appends two records behind the reader's back
+        writer.put(fp, graphs[4].key(), (40.0, 1.0))
+        writer.put(fp, graphs[5].key(), (50.0, 1.0))
+        parsed = []
+        real = EvaluationCache._parse_line
+        monkeypatch.setattr(
+            EvaluationCache,
+            "_parse_line",
+            staticmethod(lambda raw: parsed.append(raw) or real(raw)),
+        )
+        assert reader.get(fp, graphs[5].key()) == (50.0, 1.0)
+        assert len(parsed) == 2  # only the appended tail, not the 4 old lines
+        parsed.clear()
+        assert reader.get(fp, graphs[4].key()) == (40.0, 1.0)
+        assert parsed == []  # second external entry already ingested
+
+    def test_own_appends_advance_the_read_position(self, task, tmp_path, monkeypatch):
+        # put() already knows the bytes it wrote; a subsequent external
+        # append must not force a re-parse of our own records.
+        fp = task_fingerprint(task)
+        graphs = unique_graphs(16, 3)
+        cache = EvaluationCache(cache_dir=str(tmp_path))
+        cache.put(fp, graphs[0].key(), (1.0, 1.0))
+        cache.put(fp, graphs[1].key(), (2.0, 1.0))
+        EvaluationCache(cache_dir=str(tmp_path)).put(fp, graphs[2].key(), (3.0, 1.0))
+        parsed = []
+        real = EvaluationCache._parse_line
+        monkeypatch.setattr(
+            EvaluationCache,
+            "_parse_line",
+            staticmethod(lambda raw: parsed.append(raw) or real(raw)),
+        )
+        assert cache.get(fp, graphs[2].key()) == (3.0, 1.0)
+        assert len(parsed) == 1  # the foreign record only
+
+    def test_shard_shrink_triggers_full_reload(self, task, tmp_path):
+        # Compaction rewrites a shard shorter; every remembered offset
+        # and read position is void, so the reader rescans from byte 0.
+        fp = task_fingerprint(task)
+        old, new = (g.key() for g in unique_graphs(16, 2))
+        cache = EvaluationCache(cache_dir=str(tmp_path))
+        for round_index in range(4):
+            cache.put(fp, old, (float(round_index), 1.0))
+        reader = EvaluationCache(cache_dir=str(tmp_path))
+        assert reader.get(fp, old) == (3.0, 1.0)
+        # a compactor replaces the shard with one record for a new key
+        path = tmp_path / f"{fp}.jsonl"
+        path.write_text(
+            json.dumps({"k": new.hex(), "a": 7.0, "d": 8.0}) + "\n"
+        )
+        assert reader.get(fp, new) == (7.0, 8.0)
+
     def test_lru_eviction_bounds_memory(self, task):
         cache = EvaluationCache(memory_limit=3)
         fp = task_fingerprint(task)
@@ -215,6 +280,33 @@ class TestBudgetAccountingUnderBatches:
         with pytest.raises(BudgetExhausted):
             sim.query(graphs[2])
         assert sim.query(graphs[0]).sim_index == 1  # cached hit still served
+
+    def test_refusal_mid_batch_after_in_batch_duplicates(self, task):
+        # Duplicates of already-scheduled designs are free: they must not
+        # advance the budget cursor, so the refusal boundary lands on the
+        # fourth *unique* design, not the fourth slot.
+        g = unique_graphs(16, 4)
+        batch = [g[0], g[0], g[1], g[1], g[2], g[3]]
+        sim = EngineSimulator(task, budget=3, engine=EvaluationEngine())
+        out = sim.query_plan(batch)
+        assert sim.num_simulations == 3
+        assert out[5] is None  # g[3] alone is refused
+        assert [e is not None for e in out[:5]] == [True] * 5
+        assert out[1] is out[0] and out[3] is out[2]
+        assert sim.telemetry.budget_refusals == 1
+
+    def test_refusal_on_exact_last_budget_unit(self, task):
+        # budget=4 with 5 uniques: the fourth consumes the final unit in
+        # the same batch, the fifth is refused — no off-by-one overspend.
+        g = unique_graphs(16, 5)
+        sim = EngineSimulator(task, budget=4, engine=EvaluationEngine())
+        out = sim.query_plan(g)
+        assert sim.num_simulations == 4
+        assert [e.sim_index for e in out[:4]] == [1, 2, 3, 4]
+        assert out[4] is None
+        assert sim.telemetry.budget_refusals == 1
+        # the exhausted simulator still serves memo hits for free
+        assert sim.query_plan([g[0]])[0] is out[0]
 
 
 class TestSerialEquivalence:

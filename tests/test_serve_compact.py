@@ -1,0 +1,165 @@
+"""Tests for cache-shard compaction + GC (repro.serve.compact)."""
+
+import json
+import os
+import warnings
+
+import pytest
+
+from helpers import unique_random_graphs as unique_graphs
+
+from repro.circuits import adder_task
+from repro.engine import EvaluationCache, task_fingerprint
+from repro.serve.compact import (
+    LOCK_FILENAME,
+    compact_cache_dir,
+    compact_shard,
+)
+from repro.utils.locks import PidFileLock
+
+
+@pytest.fixture
+def task():
+    return adder_task(8, 0.66)
+
+
+def fill_cache(cache_dir, task, keys, rewrites=3):
+    """A duplicate-heavy shard: every key rewritten ``rewrites`` times."""
+    fingerprint = task_fingerprint(task)
+    cache = EvaluationCache(cache_dir=str(cache_dir))
+    for round_index in range(rewrites):
+        for i, key in enumerate(keys):
+            cache.put(fingerprint, key, (100.0 + i, 1.0 + round_index))
+    return fingerprint
+
+
+class TestCompactShard:
+    def test_dedup_preserves_every_live_key(self, tmp_path, task):
+        keys = [g.key() for g in unique_graphs(8, 6)]
+        fingerprint = fill_cache(tmp_path, task, keys, rewrites=3)
+        shard = tmp_path / f"{fingerprint}.jsonl"
+        before = {}
+        fresh = EvaluationCache(cache_dir=str(tmp_path))
+        for key in keys:
+            before[key] = fresh.get(fingerprint, key)
+
+        report = compact_shard(str(shard))
+        assert report["lines_before"] == 18
+        assert report["lines_after"] == 6
+        assert report["duplicates_dropped"] == 12
+        assert report["bytes_after"] < report["bytes_before"]
+
+        # every live key survives with its newest metrics
+        reloaded = EvaluationCache(cache_dir=str(tmp_path))
+        for key in keys:
+            assert reloaded.get(fingerprint, key) == before[key]
+            assert before[key][1] == 3.0  # the last rewrite won
+
+    def test_live_reader_self_heals_after_compaction(self, tmp_path, task):
+        keys = [g.key() for g in unique_graphs(8, 5)]
+        fingerprint = fill_cache(tmp_path, task, keys, rewrites=4)
+        # a reader whose offsets predate the compaction, with a tiny LRU
+        # so lookups actually go through the byte-offset path
+        reader = EvaluationCache(cache_dir=str(tmp_path), memory_limit=2)
+        expected = {key: reader.get(fingerprint, key) for key in keys}
+        compact_shard(str(tmp_path / f"{fingerprint}.jsonl"))
+        for key in keys:
+            assert reader.get(fingerprint, key) == expected[key]
+
+    def test_age_eviction_drops_old_and_unstamped(self, tmp_path):
+        shard = tmp_path / "f.jsonl"
+        records = [
+            {"k": "aa", "a": 1.0, "d": 1.0},  # unstamped: infinitely old
+            {"k": "bb", "a": 2.0, "d": 1.0, "t": 100.0},
+            {"k": "cc", "a": 3.0, "d": 1.0, "t": 1000.0},
+        ]
+        shard.write_text("".join(json.dumps(r) + "\n" for r in records))
+        report = compact_shard(
+            str(shard), max_age_seconds=500.0, now=1200.0
+        )
+        assert report["evicted"] == 2  # aa (no stamp) and bb (too old)
+        kept = [json.loads(line) for line in shard.read_text().splitlines()]
+        assert [r["k"] for r in kept] == ["cc"]
+
+    def test_max_entries_keeps_newest(self, tmp_path):
+        shard = tmp_path / "f.jsonl"
+        shard.write_text(
+            "".join(
+                json.dumps({"k": f"{i:02x}", "a": float(i), "d": 1.0}) + "\n"
+                for i in range(8)
+            )
+        )
+        report = compact_shard(str(shard), max_entries=3)
+        assert report["evicted"] == 5
+        kept = [json.loads(line)["k"] for line in shard.read_text().splitlines()]
+        assert kept == ["05", "06", "07"]
+
+    def test_corrupt_lines_are_dropped(self, tmp_path):
+        shard = tmp_path / "f.jsonl"
+        shard.write_text(
+            json.dumps({"k": "aa", "a": 1.0, "d": 2.0}) + "\n" + '{"k": "trunc'
+        )
+        report = compact_shard(str(shard))
+        assert report["corrupt_dropped"] == 1
+        assert report["lines_after"] == 1
+
+
+class TestCompactCacheDir:
+    def test_directory_pass_compacts_every_shard(self, tmp_path, task):
+        keys = [g.key() for g in unique_graphs(8, 4)]
+        fill_cache(tmp_path, task, keys, rewrites=2)
+        fill_cache(tmp_path, task.with_delay_weight(0.2), keys, rewrites=2)
+        report = compact_cache_dir(str(tmp_path))
+        # omega is excluded from the fingerprint, so both fills landed in
+        # one shard — but any *.jsonl sibling would be swept too
+        assert len(report.shards) >= 1
+        assert report.lines_after < report.lines_before
+        assert not os.path.exists(str(tmp_path / LOCK_FILENAME))
+
+    def test_live_lock_refuses_second_compactor(self, tmp_path, task):
+        keys = [g.key() for g in unique_graphs(8, 2)]
+        fill_cache(tmp_path, task, keys)
+        # a live foreign compactor: our parent process holds the lock
+        live_pid = os.getppid() or 1
+        (tmp_path / LOCK_FILENAME).write_text(json.dumps({"pid": live_pid}))
+        try:
+            with pytest.raises(ValueError, match="live process"):
+                compact_cache_dir(str(tmp_path))
+        finally:
+            os.unlink(str(tmp_path / LOCK_FILENAME))
+
+    def test_own_lock_reacquires_silently(self, tmp_path):
+        lock = PidFileLock(str(tmp_path / "l.json"))
+        lock.acquire()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            PidFileLock(str(tmp_path / "l.json")).acquire()
+        lock.release()
+
+    def test_stale_lock_is_stolen_with_warning_naming_pid(self, tmp_path, task):
+        keys = [g.key() for g in unique_graphs(8, 2)]
+        fill_cache(tmp_path, task, keys)
+        dead_pid = 2 ** 22 + 54321
+        (tmp_path / LOCK_FILENAME).write_text(json.dumps({"pid": dead_pid}))
+        with pytest.warns(RuntimeWarning, match=str(dead_pid)):
+            report = compact_cache_dir(str(tmp_path))
+        assert report.shards
+        assert not os.path.exists(str(tmp_path / LOCK_FILENAME))
+
+    def test_not_a_directory_raises(self, tmp_path):
+        with pytest.raises(ValueError, match="not a cache directory"):
+            compact_cache_dir(str(tmp_path / "missing"))
+
+    def test_hit_rate_survives_compaction(self, tmp_path, task):
+        """The serve-smoke invariant, in miniature: metrics served after
+        a compaction are the same objects a warm cache served before."""
+        fingerprint = task_fingerprint(task)
+        graphs = unique_graphs(8, 3)
+        writer = EvaluationCache(cache_dir=str(tmp_path))
+        for i, graph in enumerate(graphs):
+            writer.put(fingerprint, graph.key(), (10.0 + i, 0.5))
+            writer.put(fingerprint, graph.key(), (20.0 + i, 0.7))  # rewrite
+        compact_cache_dir(str(tmp_path))
+        cold = EvaluationCache(cache_dir=str(tmp_path))
+        for i, graph in enumerate(graphs):
+            assert cold.get(fingerprint, graph.key()) == (20.0 + i, 0.7)

@@ -1,0 +1,102 @@
+"""Tests for the daemon wire protocol (repro.serve.protocol)."""
+
+import json
+
+import pytest
+
+from repro.circuits import adder_task
+from repro.engine import task_fingerprint
+from repro.prefix import sklansky
+from repro.serve import protocol as wire
+
+
+class TestFrames:
+    def test_every_frame_round_trips(self):
+        frames = [
+            wire.Hello(client="t1", pid=123),
+            wire.Welcome(server_pid=9, draining=True, cache_entries=4),
+            wire.SubmitBatch(id="j", tenant="t1", fingerprint="f",
+                             graphs=[], span=["tr", "s1"], timeout=2.5),
+            wire.Accepted(id="j", position=3),
+            wire.Poll(id="j"),
+            wire.Pending(id="j", done=2, total=8),
+            wire.BatchResult(id="j", metrics=[[1.0, 2.0]],
+                             counters={"synth_calls": 1}, spans=[{"name": "x"}]),
+            wire.Cancel(id="j"),
+            wire.Cancelled(id="j"),
+            wire.StatsRequest(),
+            wire.StatsReply(server_pid=9, queues={"t1": 4},
+                            schedule=[{"tenant": "t1", "count": 2}]),
+            wire.Shutdown(),
+            wire.Bye(),
+            wire.ErrorReply(code="draining", message="m", id="j"),
+        ]
+        for frame in frames:
+            line = wire.encode(frame)
+            assert line.endswith(b"\n") and line.count(b"\n") == 1
+            assert wire.decode(line) == frame
+
+    def test_unknown_field_rejected(self):
+        payload = wire.Poll(id="j").to_dict()
+        payload["surprise"] = 1
+        with pytest.raises(wire.ProtocolError, match="unknown field"):
+            wire.decode((json.dumps(payload) + "\n").encode())
+
+    def test_unknown_type_rejected(self):
+        line = json.dumps({"v": wire.PROTOCOL_VERSION, "type": "nope"}).encode()
+        with pytest.raises(wire.ProtocolError, match="unknown frame type"):
+            wire.decode(line)
+
+    def test_version_mismatch_rejected(self):
+        line = json.dumps({"v": 999, "type": "poll", "id": "j"}).encode()
+        with pytest.raises(wire.ProtocolError, match="version mismatch"):
+            wire.decode(line)
+
+    def test_garbage_rejected(self):
+        with pytest.raises(wire.ProtocolError):
+            wire.decode(b"not json\n")
+        with pytest.raises(wire.ProtocolError):
+            wire.decode(b"[1,2,3]\n")
+
+
+class TestDomainWireForms:
+    def test_task_round_trip_is_fingerprint_identical(self):
+        task = adder_task(8, 0.66)
+        payload = json.loads(json.dumps(wire.task_to_dict(task)))
+        rebuilt = wire.task_from_dict(payload)
+        assert task_fingerprint(rebuilt) == task_fingerprint(task)
+        assert rebuilt.name == task.name
+        assert rebuilt.delay_weight == task.delay_weight
+
+    def test_task_round_trip_synthesizes_identically(self):
+        task = adder_task(8, 0.66)
+        rebuilt = wire.task_from_dict(wire.task_to_dict(task))
+        graph = sklansky(8)
+        a, b = task.synthesize(graph), rebuilt.synthesize(graph)
+        assert (a.area_um2, a.delay_ns) == (b.area_um2, b.delay_ns)
+
+    def test_malformed_task_raises_protocol_error(self):
+        payload = wire.task_to_dict(adder_task(8, 0.66))
+        del payload["library"]
+        with pytest.raises(wire.ProtocolError, match="malformed task"):
+            wire.task_from_dict(payload)
+
+    def test_graphs_round_trip_preserves_keys(self):
+        graphs = [sklansky(8), sklansky(16)]
+        payload = json.loads(json.dumps(wire.graphs_to_wire(graphs)))
+        back = wire.graphs_from_wire(payload)
+        assert [g.key() for g in back] == [g.key() for g in graphs]
+
+    def test_malformed_graphs_raise_protocol_error(self):
+        with pytest.raises(wire.ProtocolError, match="malformed graph"):
+            wire.graphs_from_wire([{"nonsense": True}])
+
+
+class TestSocketPathKnob:
+    def test_default_socket_path_reads_env(self, monkeypatch):
+        monkeypatch.delenv(wire.ENV_SOCKET, raising=False)
+        assert wire.default_socket_path() is None
+        monkeypatch.setenv(wire.ENV_SOCKET, "  ")
+        assert wire.default_socket_path() is None
+        monkeypatch.setenv(wire.ENV_SOCKET, "/tmp/x.sock")
+        assert wire.default_socket_path() == "/tmp/x.sock"
