@@ -25,10 +25,11 @@ import numpy as np
 from repro.circuits import adder_task
 from repro.prefix import unique_random_graphs
 
+from _record import record_path, write_record
 from common import BITWIDTHS, once
 
 POPULATION = int(os.environ.get("REPRO_BENCH_POPULATION", "64"))
-OUT_PATH = os.environ.get("REPRO_BENCH_OUT", "BENCH_batched_eval.json")
+OUT_PATH = record_path("batched_eval")
 ROUNDS = 3
 SPEEDUP_TARGET = 3.0
 SPEEDUP_MIN_POPULATION = 64
@@ -85,8 +86,7 @@ def run_batched_eval():
         "bit_identical": True,
         "cpus": os.cpu_count() or 1,
     }
-    with open(OUT_PATH, "w") as handle:
-        json.dump(stats, handle, indent=2)
+    write_record("batched_eval", stats)
     return stats
 
 

@@ -31,9 +31,10 @@ from repro.api.cli import bench_presets
 from repro.obs import trace
 from repro.obs.sink import read_trace
 
+from _record import read_record, record_path, write_record
 from common import once
 
-OUT_PATH = os.environ.get("REPRO_BENCH_OUT", "BENCH_obs_overhead.json")
+OUT_PATH = record_path("obs_overhead")
 ROUNDS = 3
 NULL_SPAN_CALLS = 200_000
 OVERHEAD_LIMIT = 0.05  # the acceptance gate: < 5% when tracing is off
@@ -97,8 +98,7 @@ def run_obs_overhead():
         "limit": OVERHEAD_LIMIT,
         "cpus": os.cpu_count() or 1,
     }
-    with open(OUT_PATH, "w") as handle:
-        json.dump(stats, handle, indent=2)
+    write_record("obs_overhead", stats)
 
     assert overhead_off < OVERHEAD_LIMIT, stats
     return stats
@@ -125,4 +125,4 @@ def test_obs_overhead(benchmark):
 
 if __name__ == "__main__":
     run_obs_overhead()
-    print(json.dumps(json.load(open(OUT_PATH)), indent=2))
+    print(json.dumps(read_record("obs_overhead"), indent=2))

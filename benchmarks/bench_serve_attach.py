@@ -31,9 +31,10 @@ from repro.prefix import unique_random_graphs
 from repro.serve.client import RemoteEngineSimulator, ServeClient
 from repro.serve.daemon import EvalDaemon
 
+from _record import read_record, record_path, write_record
 from common import once
 
-OUT_PATH = os.environ.get("REPRO_BENCH_OUT", "BENCH_serve_attach.json")
+OUT_PATH = record_path("serve_attach")
 N = 16
 WORKLOAD = int(os.environ.get("REPRO_BENCH_SERVE_GRAPHS", "48"))
 ROUNDS = 3
@@ -109,8 +110,7 @@ def run_serve_attach(tmp_dir=None):
         "speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
         "cpus": os.cpu_count() or 1,
     }
-    with open(OUT_PATH, "w") as handle:
-        json.dump(stats, handle, indent=2)
+    write_record("serve_attach", stats)
     return stats
 
 
@@ -130,4 +130,4 @@ def test_serve_attach(benchmark):
 
 if __name__ == "__main__":
     run_serve_attach()
-    print(json.dumps(json.load(open(OUT_PATH)), indent=2))
+    print(json.dumps(read_record("serve_attach"), indent=2))

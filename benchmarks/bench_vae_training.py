@@ -36,10 +36,11 @@ from repro.core.training import TrainConfig, train_model
 from repro.core.vae import CircuitVAEModel, VAEConfig
 from repro.prefix import random_graph
 
+from _record import record_path, write_record
 from common import once
 
 EPOCHS = int(os.environ.get("REPRO_BENCH_TRAIN_EPOCHS", "8"))
-OUT_PATH = os.environ.get("REPRO_BENCH_OUT", "BENCH_vae_training.json")
+OUT_PATH = record_path("vae_training")
 SPEEDUP_TARGET = 2.0
 N = 8  # the repo's standard adder bitwidth (tests/figures)
 DATASET = 128
@@ -140,8 +141,7 @@ def run_vae_training():
         "compile_counters": dict(compiled_ref.compile_counters),
         "cpus": os.cpu_count() or 1,
     }
-    with open(OUT_PATH, "w") as handle:
-        json.dump(stats, handle, indent=2)
+    write_record("vae_training", stats)
     return stats
 
 

@@ -135,7 +135,12 @@ class LatentBO(SearchAlgorithm):
             # Decode + one batched population evaluation (vectorized on
             # an engine-backed simulator).
             _designs, evaluations = decode_and_query(
-                self.model, candidates[top], simulator, rng, telemetry
+                self.model,
+                candidates[top],
+                simulator,
+                rng,
+                telemetry,
+                structural_context=self.dataset.graphs[-8:],
             )
             new_points = self.dataset.add_evaluations(evaluations)
             if new_points == 0 and not simulator.exhausted():
@@ -143,9 +148,12 @@ class LatentBO(SearchAlgorithm):
                 # exploration so the loop never stalls.
                 from ..opt.variation import mutate
 
-                explore = [
-                    mutate(self.dataset.graphs[i], rng, rate=0.05)
+                parents = [
+                    self.dataset.graphs[i]
                     for i in self.dataset.sample_indices(config.batch_per_round, rng)
                 ]
-                self.dataset.add_evaluations(simulator.query_many(explore))
+                explore = [mutate(g, rng, rate=0.05) for g in parents]
+                self.dataset.add_evaluations(
+                    simulator.query_many(explore, structural_context=parents)
+                )
         return simulator.best()

@@ -98,7 +98,11 @@ class GeneticAlgorithm(SearchAlgorithm):
                     else:
                         child = parent_a
                     children.append(mutate(child, rng, rate=config.mutation_rate))
-            evaluations = simulator.query_many(children)
+            # Parents are the natural delta bases: most children differ
+            # from one of them by a mutation or crossover splice.
+            evaluations = simulator.query_many(
+                children, structural_context=population
+            )
             if not evaluations:
                 break
             # Cache hits return instantly, so some children may be stale

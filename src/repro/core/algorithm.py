@@ -171,7 +171,12 @@ class CircuitVAEOptimizer(SearchAlgorithm):
             # whole captured population goes through one EvalBatch, which
             # an engine-backed simulator vectorizes.
             _designs, evaluations = decode_and_query(
-                model, trace.captured_latents, simulator, rng, telemetry
+                model,
+                trace.captured_latents,
+                simulator,
+                rng,
+                telemetry,
+                structural_context=self.dataset.graphs[-8:],
             )
             new_points = self.dataset.add_evaluations(evaluations)
             if simulator.history:
@@ -179,11 +184,14 @@ class CircuitVAEOptimizer(SearchAlgorithm):
             if new_points == 0 and not simulator.exhausted():
                 # Decoder collapsed onto known designs: inject mutation
                 # noise so the loop keeps acquiring (rare at small n).
-                explore = [
-                    mutate(self.dataset.graphs[i], rng, rate=0.05)
+                parents = [
+                    self.dataset.graphs[i]
                     for i in self.dataset.sample_indices(
                         config.search.num_parallel, rng
                     )
                 ]
-                self.dataset.add_evaluations(simulator.query_many(explore))
+                explore = [mutate(g, rng, rate=0.05) for g in parents]
+                self.dataset.add_evaluations(
+                    simulator.query_many(explore, structural_context=parents)
+                )
         return simulator.best()

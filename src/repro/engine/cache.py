@@ -54,7 +54,12 @@ from typing import Dict, Optional, Tuple
 
 from ..obs import trace
 
-__all__ = ["task_fingerprint", "EvaluationCache", "default_cache_dir"]
+__all__ = [
+    "task_fingerprint",
+    "ConeBaseTier",
+    "EvaluationCache",
+    "default_cache_dir",
+]
 
 #: (area_um2, delay_ns) — everything synthesis produces that Evaluation needs.
 Metrics = Tuple[float, float]
@@ -146,6 +151,9 @@ class EvaluationCache:
         # appends beyond this point are picked up incrementally by
         # _refresh_fingerprint, never by re-reading the whole file.
         self._read_positions: Dict[str, int] = {}
+        # Lines parsed so far per shard, so corrupt-line warnings from
+        # incremental refreshes still report absolute line numbers.
+        self._line_counts: Dict[str, int] = {}
         if cache_dir:
             os.makedirs(cache_dir, exist_ok=True)
 
@@ -169,9 +177,11 @@ class EvaluationCache:
             offsets = self._disk_offsets.setdefault(fingerprint, {})
             position = 0
             loaded = 0
+            lineno = 0
             with open(path, "rb") as handle:
                 for raw in handle:
-                    parsed = self._parse_line(raw)
+                    lineno += 1
+                    parsed = self._parse_line(raw, f"{path}:{lineno}")
                     if parsed is not None:  # skip crashed-writer truncation
                         key, metrics = parsed
                         offsets[key] = position  # last record wins
@@ -179,15 +189,18 @@ class EvaluationCache:
                         loaded += 1
                     position += len(raw)
             self._read_positions[fingerprint] = position
+            self._line_counts[fingerprint] = lineno
             span.set_attr("entries", loaded)
 
     @staticmethod
-    def _parse_line(raw: bytes):
+    def _parse_line(raw: bytes, where: str = "unknown location"):
         """One JSONL record, or None (with a warning) if unparseable.
 
         Corrupt lines — a crashed writer's truncated tail, bit rot, a
         hand-edited shard — must never take the engine down: the record
-        is skipped and synthesis regenerates it on demand.
+        is skipped and synthesis regenerates it on demand.  ``where``
+        names the shard path and line (or byte offset) so the warning
+        points at the exact record even with many shards on disk.
         """
         line = raw.strip()
         if not line:
@@ -201,7 +214,8 @@ class EvaluationCache:
         except (ValueError, KeyError, TypeError):
             preview = line[:60].decode("utf-8", errors="replace")
             warnings.warn(
-                f"skipping corrupt evaluation-cache line: {preview!r}",
+                f"skipping corrupt evaluation-cache line at {where}: "
+                f"{preview!r}",
                 RuntimeWarning,
                 stacklevel=2,
             )
@@ -216,7 +230,9 @@ class EvaluationCache:
             return None
         with open(path, "rb") as handle:
             handle.seek(offset)
-            parsed = self._parse_line(handle.readline())
+            parsed = self._parse_line(
+                handle.readline(), f"{path} (byte offset {offset})"
+            )
         if parsed is not None and parsed[0] == key:
             return parsed[1]
         return None
@@ -233,6 +249,7 @@ class EvaluationCache:
         # fall back to one full rescan, rebuilding the index.
         self._disk_offsets.pop(fingerprint, None)
         self._read_positions.pop(fingerprint, None)
+        self._line_counts.pop(fingerprint, None)
         self._loaded_fingerprints.discard(fingerprint)
         self._load_fingerprint(fingerprint)
         entry = self._memory.get((fingerprint, key))
@@ -266,6 +283,7 @@ class EvaluationCache:
             # remembered offset is void — rescan from byte 0.
             self._disk_offsets.pop(fingerprint, None)
             self._read_positions.pop(fingerprint, None)
+            self._line_counts.pop(fingerprint, None)
             self._loaded_fingerprints.discard(fingerprint)
             self._load_fingerprint(fingerprint)
             return True
@@ -273,6 +291,7 @@ class EvaluationCache:
             return False
         offsets = self._disk_offsets.setdefault(fingerprint, {})
         loaded = 0
+        lineno = self._line_counts.get(fingerprint, 0)
         with trace.span("cache_refresh") as span:
             span.set_attr("fingerprint", fingerprint[:16])
             with open(path, "rb") as handle:
@@ -282,7 +301,8 @@ class EvaluationCache:
                         # A concurrent writer's half-appended tail: not
                         # corruption, just early — re-read next refresh.
                         break
-                    parsed = self._parse_line(raw)
+                    lineno += 1
+                    parsed = self._parse_line(raw, f"{path}:{lineno}")
                     if parsed is not None:
                         key, metrics = parsed
                         offsets[key] = position
@@ -291,6 +311,7 @@ class EvaluationCache:
                     position += len(raw)
             span.set_attr("entries", loaded)
         self._read_positions[fingerprint] = position
+        self._line_counts[fingerprint] = lineno
         return True
 
     def _insert(
@@ -378,6 +399,9 @@ class EvaluationCache:
                     and self._read_positions.get(fingerprint, 0) == offset
                 ):
                     self._read_positions[fingerprint] = offset + len(line) + 1
+                    self._line_counts[fingerprint] = (
+                        self._line_counts.get(fingerprint, 0) + 1
+                    )
 
     # ------------------------------------------------------------------
     def __len__(self) -> int:
@@ -399,3 +423,59 @@ class EvaluationCache:
     def __repr__(self) -> str:
         where = self.cache_dir or "memory-only"
         return f"EvaluationCache({where}, entries={len(self)})"
+
+
+class ConeBaseTier:
+    """Sub-graph base tier: recently evaluated graphs per task fingerprint.
+
+    The exact-key cache above dedups *identical* circuits; this tier
+    remembers the **structures** the engine has recently synthesized so
+    the next population can ride the delta pipeline against them even
+    when no candidate repeats exactly.  Entries are namespaced by task
+    fingerprint and deduped by canonical graph key; the cone-hash
+    matching itself (multiset overlap of Merkle fanin-cone keys, see
+    :mod:`repro.prefix.canonical`) happens in
+    :func:`repro.synth.incremental.plan_deltas`, which receives these
+    graphs as ``base_hints``.
+
+    Bounded to ``per_task_limit`` graphs per fingerprint (LRU) because
+    every hint costs one counter comparison per candidate at planning
+    time — a handful of recent bases captures population overlap across
+    engine batches without planning cost creeping toward O(n^2).
+    """
+
+    def __init__(self, per_task_limit: int = 8) -> None:
+        if per_task_limit < 1:
+            raise ValueError("per_task_limit must be positive")
+        self.per_task_limit = per_task_limit
+        self._lock = threading.Lock()
+        self._bases: Dict[str, "OrderedDict[bytes, object]"] = {}
+
+    def bases(self, fingerprint: str) -> list:
+        """Recently remembered graphs for one task, newest first."""
+        with self._lock:
+            tier = self._bases.get(fingerprint)
+            if not tier:
+                return []
+            return list(reversed(tier.values()))
+
+    def remember(self, fingerprint: str, graphs) -> None:
+        """Record evaluated graphs as future delta bases (LRU per task)."""
+        with self._lock:
+            tier = self._bases.setdefault(fingerprint, OrderedDict())
+            for graph in graphs:
+                key = graph.key()
+                if key in tier:
+                    tier.move_to_end(key)
+                else:
+                    tier[key] = graph
+            while len(tier) > self.per_task_limit:
+                tier.popitem(last=False)
+
+    def __repr__(self) -> str:
+        with self._lock:
+            total = sum(len(t) for t in self._bases.values())
+        return (
+            f"ConeBaseTier(tasks={len(self._bases)}, bases={total}, "
+            f"limit={self.per_task_limit})"
+        )

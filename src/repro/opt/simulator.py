@@ -148,7 +148,9 @@ class CircuitSimulator:
             self.on_evaluation(evaluation)
         return evaluation
 
-    def query_plan(self, designs) -> List[Optional[Evaluation]]:
+    def query_plan(
+        self, designs, structural_context=()
+    ) -> List[Optional[Evaluation]]:
         """Query a batch, one slot per design; None marks a budget refusal.
 
         Scans the *whole* batch even after the budget runs out: cached
@@ -156,6 +158,12 @@ class CircuitSimulator:
         this very batch) are always served, only genuinely-new designs are
         refused.  ``repro.engine`` overrides this with a batched parallel
         planner that preserves these exact semantics.
+
+        ``structural_context`` is an optional hint — already-evaluated
+        designs the batch likely shares structure with (a GA's parents,
+        a BO round's incumbents).  The serial simulator ignores it; the
+        engine forwards it to the incremental delta planner.  It never
+        changes results, only wall-clock.
         """
         plan: List[Optional[Evaluation]] = []
         for design in designs:
@@ -165,14 +173,16 @@ class CircuitSimulator:
                 plan.append(None)
         return plan
 
-    def query_many(self, designs) -> List[Evaluation]:
+    def query_many(self, designs, structural_context=()) -> List[Evaluation]:
         """Query a batch, silently skipping designs the budget refuses.
 
         Returns the evaluations obtained, in design order.  Cached hits
         are always served, even for designs that appear *after* the budget
-        runs out mid-batch.
+        runs out mid-batch.  ``structural_context`` as in
+        :meth:`query_plan`.
         """
-        return [e for e in self.query_plan(designs) if e is not None]
+        plan = self.query_plan(designs, structural_context=structural_context)
+        return [e for e in plan if e is not None]
 
     # ------------------------------------------------------------------
     def best(self) -> Evaluation:

@@ -1,0 +1,125 @@
+"""Canonical structural hashing of prefix sub-graphs (fanin cones).
+
+Every present span ``(i, j)`` of a prefix graph decomposes as
+``span[i:j] = span[i:k] . span[k-1:j]`` with the nearest upper parent, so
+its fanin cone is a binary tree of spans.  :func:`cone_keys` assigns each
+node a **Merkle-style hash of that tree in relative coordinates**: a leaf
+hashes to a constant and an internal node hashes the (upper, lower) child
+digests.  Absolute row/column positions never enter the digest, so the
+key is *stable under node relabeling* — a sub-circuit shifted to another
+bit position (e.g. the upper half of a Sklansky tree, which is a smaller
+Sklansky tree on renamed inputs) keeps the same keys, while any single
+node or edge change inside the cone changes them.
+
+This is the similarity primitive behind delta-aware incremental
+synthesis (:mod:`repro.synth.incremental`): two graphs that share a cone
+key of equal width compute the same sub-circuit up to input renaming, so
+a population's pairwise overlap of cone keys measures how much structure
+an evaluation batch can share.  :func:`signature` reduces a whole graph
+to one digest (the output cones' keys in row order); since every present
+cell of a legal grid sits in its own row's output cone, equal signatures
+mean equal grids.
+"""
+
+from __future__ import annotations
+
+from collections import Counter, OrderedDict
+from hashlib import blake2b
+from typing import Dict, Tuple
+
+import numpy as np
+
+from .graph import PrefixGraph, Span
+
+__all__ = ["cone_keys", "cone_key", "signature", "shared_cone_stats"]
+
+_DIGEST_SIZE = 16
+#: Digest of a diagonal span (a primary input): the recursion base.
+_LEAF = blake2b(b"prefix-leaf", digest_size=_DIGEST_SIZE).digest()
+
+# Per-graph memo (keyed by the packed-grid identity).  Cone keys are
+# consulted on every engine batch, so recomputing them per call would
+# tax the hot path; a small FIFO bounds memory on long searches.
+_MEMO: "OrderedDict[bytes, Dict[Span, bytes]]" = OrderedDict()
+_MEMO_LIMIT = 2048
+
+
+def _compute(graph: PrefixGraph) -> Dict[Span, bytes]:
+    keys: Dict[Span, bytes] = {}
+    for i in range(graph.n):
+        keys[(i, i)] = _LEAF
+    grid = graph.grid
+    for i in range(1, graph.n):
+        present = np.nonzero(grid[i, : i + 1])[0].tolist()
+        # Right-to-left: the upper parent (i, k) sits later in `present`
+        # and is already hashed; the lower parent (k-1, j) is in an
+        # earlier row.  Same sweep order as PrefixGraph.levels().
+        for idx in range(len(present) - 2, -1, -1):
+            j, k = present[idx], present[idx + 1]
+            digest = blake2b(b"N", digest_size=_DIGEST_SIZE)
+            digest.update(keys[(i, k)])
+            digest.update(keys[(k - 1, j)])
+            keys[(i, j)] = digest.digest()
+    return keys
+
+
+def cone_keys(graph: PrefixGraph) -> Dict[Span, bytes]:
+    """Merkle cone digest of every present span (treat as read-only)."""
+    identity = graph.key()
+    cached = _MEMO.get(identity)
+    if cached is not None:
+        _MEMO.move_to_end(identity)
+        return cached
+    keys = _compute(graph)
+    _MEMO[identity] = keys
+    if len(_MEMO) > _MEMO_LIMIT:
+        _MEMO.popitem(last=False)
+    return keys
+
+
+def cone_key(graph: PrefixGraph, i: int, j: int) -> bytes:
+    """Digest of one span's fanin cone."""
+    return cone_keys(graph)[(i, j)]
+
+
+def signature(graph: PrefixGraph) -> bytes:
+    """One digest for the whole graph: output cones, in row order.
+
+    Every present cell of a legal grid lies in its own row's output cone
+    (the nearest-upper-parent chain walks the whole row), so two graphs
+    of the same width share a signature exactly when their grids match.
+    """
+    digest = blake2b(b"G%d" % graph.n, digest_size=_DIGEST_SIZE)
+    keys = cone_keys(graph)
+    for i in range(graph.n):
+        digest.update(keys[(i, 0)])
+    return digest.digest()
+
+
+def shared_cone_stats(
+    candidate: PrefixGraph, base: PrefixGraph
+) -> Tuple[int, int]:
+    """``(shared, total)`` internal-cone overlap of candidate vs base.
+
+    Counts the candidate's non-diagonal spans whose (cone key, width)
+    pair also occurs in the base — as a multiset, so repeated identical
+    sub-trees only match as many times as the base materializes them.
+    ``total`` is the candidate's internal node count; a ``shared/total``
+    near 1 means the candidate is a small delta on the base, the routing
+    condition for the incremental evaluation path.
+    """
+    cand_keys = cone_keys(candidate)
+    base_counts = Counter(
+        (key, i - j) for (i, j), key in cone_keys(base).items() if i != j
+    )
+    shared = 0
+    total = 0
+    for (i, j), key in cand_keys.items():
+        if i == j:
+            continue
+        total += 1
+        pair = (key, i - j)
+        if base_counts[pair] > 0:
+            base_counts[pair] -= 1
+            shared += 1
+    return shared, total

@@ -277,10 +277,12 @@ class RemoteEngineSimulator(EngineSimulator):
 
     # ------------------------------------------------------------------
     def _evaluate_graphs(
-        self, graphs: List[PrefixGraph]
+        self, graphs: List[PrefixGraph], structural_context=()
     ) -> List[Tuple[float, float, float]]:
+        # The hint stays client-side: the daemon batches designs across
+        # tenants and keeps its own ConeBaseTier per fingerprint.
         if not graphs or not self._remote:
-            return super()._evaluate_graphs(graphs)
+            return super()._evaluate_graphs(graphs, structural_context)
         tracer = trace.current_tracer()
         span_ctx = tracer.current_context() if tracer is not None else None
         try:
@@ -299,7 +301,7 @@ class RemoteEngineSimulator(EngineSimulator):
                 RuntimeWarning,
                 stacklevel=2,
             )
-            return super()._evaluate_graphs(graphs)
+            return super()._evaluate_graphs(graphs, structural_context)
         if len(result.metrics) != len(graphs):
             raise RemoteEvaluationError(
                 "bad_reply",

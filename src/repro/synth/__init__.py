@@ -7,6 +7,13 @@ and the commercial-tool emulation used by the Fig. 6 experiment.
 """
 
 from .batched import synthesize_many
+from .incremental import (
+    IncrementalStats,
+    SHARE_THRESHOLD,
+    incremental_enabled,
+    plan_deltas,
+    synthesize_population,
+)
 from .commercial import CommercialTool
 from .cost import AREA_SCALE, DELAY_SCALE, CostWeights, cost_from_metrics
 from .library import Cell, CellLibrary, LIBRARIES, nangate45, scaled_library
@@ -25,7 +32,17 @@ from .physical import (
     synthesize,
 )
 from .placement import place_datapath, total_wire_length, wire_length
-from .timing import IOTiming, TimingReport, analyze_timing, net_load
+from .timing import (
+    IOTiming,
+    TimingReport,
+    TimingState,
+    analyze_timing,
+    dirty_after_swaps,
+    extract_report,
+    net_load,
+    retime,
+    timing_state,
+)
 
 __all__ = [
     "Cell",
@@ -44,14 +61,24 @@ __all__ = [
     "total_wire_length",
     "IOTiming",
     "TimingReport",
+    "TimingState",
     "analyze_timing",
+    "dirty_after_swaps",
+    "extract_report",
     "net_load",
+    "retime",
+    "timing_state",
     "SynthesisOptions",
     "PhysicalResult",
     "buffer_fanout",
     "size_gates",
     "synthesize",
     "synthesize_many",
+    "synthesize_population",
+    "IncrementalStats",
+    "SHARE_THRESHOLD",
+    "incremental_enabled",
+    "plan_deltas",
     "CostWeights",
     "cost_from_metrics",
     "DELAY_SCALE",

@@ -408,10 +408,79 @@ def _build_lean(graph, tables, circuit_type, options, levels) -> _LeanNetlist:
 
 
 # ----------------------------------------------------------------------
+# Flat population form (shared by the lean and the array builders)
+# ----------------------------------------------------------------------
+class _FlatPopulation:
+    """A population's structure as flat arrays, one step before packing.
+
+    ``flat_pins`` holds *graph-local* net ids (gate ``i`` of a graph
+    drives net ``num_pis + i``); ``gate_col`` uses NaN where a column
+    hint is missing (the reference flow's ``None``).  This is the common
+    input format of :class:`_PackedBatch`: the lean per-graph builders
+    flatten into it, and the incremental pipeline's vectorized builder
+    (:mod:`repro.synth.incremental`) emits it directly.
+    """
+
+    __slots__ = (
+        "gate_counts", "gate_cell", "pin_counts", "flat_pins", "gate_col",
+        "po_net", "num_buffers",
+    )
+
+    def __init__(self, gate_counts, gate_cell, pin_counts, flat_pins,
+                 gate_col, po_net, num_buffers):
+        self.gate_counts = gate_counts
+        self.gate_cell = gate_cell
+        self.pin_counts = pin_counts
+        self.flat_pins = flat_pins
+        self.gate_col = gate_col
+        self.po_net = po_net
+        self.num_buffers = num_buffers
+
+
+def _flatten_leans(leans: List[_LeanNetlist], template: _IOTemplate) -> _FlatPopulation:
+    gate_counts = np.array([len(ln.gate_cell) for ln in leans], dtype=np.int64)
+    G = int(gate_counts.sum())
+    gate_cell = np.fromiter(
+        chain.from_iterable(ln.gate_cell for ln in leans), np.int64, count=G
+    )
+    pin_counts = np.fromiter(
+        chain.from_iterable(map(len, ln.gate_in) for ln in leans),
+        np.int64, count=G,
+    )
+    flat_pins = np.fromiter(
+        chain.from_iterable(chain.from_iterable(ln.gate_in) for ln in leans),
+        np.int64, count=int(pin_counts.sum()),
+    )
+    column_parts = []
+    for ln in leans:
+        try:
+            column_parts.append(np.asarray(ln.gate_col, dtype=np.float64))
+        except TypeError:  # a None centroid (no sink columns): rare
+            column_parts.append(
+                np.array(
+                    [np.nan if col is None else col for col in ln.gate_col],
+                    dtype=np.float64,
+                )
+            )
+    gate_col = (
+        np.concatenate(column_parts) if column_parts else np.empty(0)
+    )
+    po_count = len(template.po_names)
+    po_net = np.empty(len(leans) * po_count, dtype=np.int64)
+    for b, ln in enumerate(leans):
+        po_net[b * po_count : (b + 1) * po_count] = ln.po_net
+    num_buffers = np.array([ln.num_buffers for ln in leans], dtype=np.int64)
+    return _FlatPopulation(
+        gate_counts, gate_cell, pin_counts, flat_pins, gate_col, po_net,
+        num_buffers,
+    )
+
+
+# ----------------------------------------------------------------------
 # Batch packing + vectorized geometry
 # ----------------------------------------------------------------------
 class _PackedBatch:
-    """All lean netlists of a population, flattened into index arrays.
+    """All netlists of a population, flattened into index arrays.
 
     Gates and nets get *flat* ids across the batch (per-graph offsets);
     every padded slot points at the trailing dummy gate (cell cap 0) or
@@ -420,28 +489,27 @@ class _PackedBatch:
     depth schedule are derived here with batch-wide array arithmetic.
     """
 
-    def __init__(self, leans: List[_LeanNetlist], tables: _LibraryTables,
+    def __init__(self, flat: _FlatPopulation, tables: _LibraryTables,
                  library: CellLibrary, template: _IOTemplate):
         self.tables = tables
         self.tau = library.tau_ns
-        B = len(leans)
+        gate_counts = flat.gate_counts
+        B = len(gate_counts)
         self.B = B
         npi = template.num_pis
-        gate_counts = np.array([len(ln.gate_cell) for ln in leans])
         net_counts = gate_counts + npi
         self.gate_off = np.concatenate([[0], np.cumsum(gate_counts)])
         self.net_off = np.concatenate([[0], np.cumsum(net_counts)])
         G = int(self.gate_off[-1])
         N = int(self.net_off[-1])
         self.G, self.N = G, N
+        self.num_buffers = flat.num_buffers
         self.gate_graph = np.repeat(np.arange(B), gate_counts)
         self.net_graph = np.repeat(np.arange(B), net_counts)
 
         # --- flat gate arrays (one trailing dummy slot in gate_cell) ---
         gate_cell = np.empty(G + 1, dtype=np.int64)
-        gate_cell[:G] = np.fromiter(
-            chain.from_iterable(ln.gate_cell for ln in leans), np.int64, count=G
-        )
+        gate_cell[:G] = flat.gate_cell
         gate_cell[G] = tables.dummy
         # gate g of graph b drives net net_off[b] + npi + local_index.
         gate_out = (
@@ -451,19 +519,10 @@ class _PackedBatch:
         net_driver = np.full(N + 1, -1, dtype=np.int64)
         net_driver[gate_out] = np.arange(G)
 
-        pin_counts = np.fromiter(
-            chain.from_iterable(map(len, ln.gate_in) for ln in leans),
-            np.int64, count=G,
-        )
+        pin_counts = flat.pin_counts
         total_pins = int(pin_counts.sum())
-        flat_pins = np.fromiter(
-            chain.from_iterable(
-                chain.from_iterable(ln.gate_in) for ln in leans
-            ),
-            np.int64, count=total_pins,
-        )
         pin_gate = np.repeat(np.arange(G), pin_counts)
-        flat_pins += self.net_off[self.gate_graph[pin_gate]]
+        flat_pins = flat.flat_pins + self.net_off[self.gate_graph[pin_gate]]
         pin_slot = np.arange(total_pins) - np.repeat(
             np.concatenate([[0], np.cumsum(pin_counts)[:-1]]), pin_counts
         )
@@ -511,25 +570,13 @@ class _PackedBatch:
 
         # --- placement (x, y) and static wirelengths -------------------
         pitch, row_height = library.bit_pitch_um, library.row_height_um
-        fallback: List[Tuple[int, int]] = []  # (flat gate, graph) hint gaps
-        column_parts = []
-        for b, ln in enumerate(leans):
-            try:
-                column_parts.append(np.asarray(ln.gate_col, dtype=np.float64))
-            except TypeError:  # a None centroid (no sink columns): rare
-                goff = int(self.gate_off[b])
-                cols = np.empty(len(ln.gate_col))
-                for gi, col in enumerate(ln.gate_col):
-                    if col is None:
-                        fallback.append((goff + gi, b))
-                        cols[gi] = 0.0
-                    else:
-                        cols[gi] = col
-                column_parts.append(cols)
-        x = np.concatenate(column_parts) * pitch if G else np.empty(0)
+        nan_cols = np.isnan(flat.gate_col) if G else np.zeros(0, dtype=bool)
+        x = np.where(nan_cols, 0.0, flat.gate_col) * pitch if G else np.empty(0)
         y = self.gate_level * row_height
-        if fallback:
-            self._resolve_fallback_columns(leans, fallback, template, pitch, x)
+        if nan_cols.any():
+            self._resolve_fallback_columns(
+                flat, gate_in, np.flatnonzero(nan_cols), template, pitch, x
+            )
         x_ext = np.append(x, 0.0)
         y_ext = np.append(y, 0.0)
 
@@ -559,12 +606,10 @@ class _PackedBatch:
         pi_arr = np.asarray(template.pi_arrival)
         po_count = len(template.po_names)
         net_po_count = np.zeros(N, dtype=np.int64)
-        po_net = np.empty(B * po_count, dtype=np.int64)
-        for b, ln in enumerate(leans):
+        for b in range(B):
             noff = int(self.net_off[b])
             net_pi_arrival[noff : noff + npi] = pi_arr
-            po_net[b * po_count : (b + 1) * po_count] = ln.po_net
-            po_net[b * po_count : (b + 1) * po_count] += noff
+        po_net = flat.po_net + np.repeat(self.net_off[:B], po_count)
         np.add.at(net_po_count, po_net, 1)
         self.net_pi_arrival = net_pi_arrival
         self.net_po_count = net_po_count
@@ -575,6 +620,9 @@ class _PackedBatch:
         self.po_names = template.po_names
 
         self.gate_cell = gate_cell
+        # Input caps by gate (dummy 0.0), maintained through cell swaps —
+        # a pure gather cache, so reads equal tables.cap[gate_cell[...]].
+        self.cap_gate = tables.cap[gate_cell]
         self.gate_out = gate_out
         self.gate_in = gate_in
         self.net_sink_gate = net_sink_gate
@@ -599,46 +647,47 @@ class _PackedBatch:
         ]
 
     # ------------------------------------------------------------------
-    def _resolve_fallback_columns(self, leans, fallback, template, pitch, x):
+    def _resolve_fallback_columns(self, flat, gate_in, fallback, template, pitch, x):
         """placement._resolve_column's fanin-centroid fallback.
 
-        Only reachable for gates without a mapping/centroid column hint,
-        which the builders never produce in practice — kept for strict
-        parity with the reference placer.
+        Only reachable for gates without a mapping/centroid column hint
+        (NaN in the flat form), which the builders never produce in
+        practice — kept for strict parity with the reference placer.
         """
-        for flat_gate, b in fallback:
+        npi = template.num_pis
+        N = self.N
+        memo: Dict[int, float] = {}
+
+        def resolve(flat_gate: int) -> float:
+            if flat_gate in memo:
+                return memo[flat_gate]
+            column = flat.gate_col[flat_gate]
+            if not np.isnan(column):
+                memo[flat_gate] = float(column)
+                return memo[flat_gate]
+            memo[flat_gate] = 0.0
+            b = int(self.gate_graph[flat_gate])
             goff, noff = int(self.gate_off[b]), int(self.net_off[b])
-            ln = leans[b]
-            npi = ln.num_pis
-            memo: Dict[int, float] = {}
+            cols = [
+                resolve(goff + (net - noff - npi)) if net - noff >= npi
+                else float(template.pi_col[net - noff])
+                for net in gate_in[flat_gate].tolist()
+                if net != N  # pad slots, not real pins
+            ]
+            memo[flat_gate] = sum(cols) / len(cols) if cols else 0.0
+            return memo[flat_gate]
 
-            def resolve(gi: int) -> float:
-                if gi in memo:
-                    return memo[gi]
-                column = ln.gate_col[gi]
-                if column is not None:
-                    memo[gi] = float(column)
-                    return memo[gi]
-                memo[gi] = 0.0
-                cols = [
-                    resolve(net - npi) if net >= npi
-                    else float(template.pi_col[net])
-                    for net in ln.gate_in[gi]
-                ]
-                memo[gi] = sum(cols) / len(cols) if cols else 0.0
-                return memo[gi]
-
-            x[flat_gate] = resolve(flat_gate - goff) * pitch
+        for flat_gate in fallback.tolist():
+            x[flat_gate] = resolve(flat_gate) * pitch
 
     # ------------------------------------------------------------------
     def net_loads(self, nets: np.ndarray) -> np.ndarray:
         """Capacitive load of ``nets``, in ``net_load``'s accumulation
         order: sink pins (sink-list order), wire term, PO loads."""
-        tables = self.tables
         load = np.zeros(len(nets))
         sink_rows = self.net_sink_gate[nets]
         for slot in range(self.max_sinks):
-            load = load + tables.cap[self.gate_cell[sink_rows[:, slot]]]
+            load = load + self.cap_gate[sink_rows[:, slot]]
         load = load + self.wire_terms[nets]
         for layer in self.po_add:
             load = load + layer[nets]
@@ -655,7 +704,7 @@ class _PackedBatch:
         cells = self.gate_cell[: self.G]
         loads = self.net_loads(self._all_nets)
         gate_load = loads[self.gate_out]
-        caps = tables.cap[cells]
+        caps = self.cap_gate[: self.G]
         # Mirror of Cell.delay: tau * (p + g * (load / cap)).
         gate_delay = self.tau * (
             tables.p[cells] + tables.g[cells] * (gate_load / caps)
@@ -672,6 +721,103 @@ class _PackedBatch:
         crit_po = np.arange(self.B) * self.po_count + crit_local
         delay_ns = endpoints[crit_po]
         return arrival, gate_delay, delay_ns, crit_po
+
+    def resta(self, arrival: np.ndarray, gate_delay: np.ndarray,
+              dirty_gates: np.ndarray):
+        """Batched mirror of ``timing.retime``: cone-limited delta STA.
+
+        Starting from a propagated ``(arrival, gate_delay)`` state (not
+        modified), re-evaluates only the ``dirty_gates`` frontier and
+        whatever their arrival changes reach, cutting propagation where
+        a recomputed arrival is bitwise equal to the stored one.  Each
+        re-evaluated gate performs exactly :meth:`sta`'s float
+        operations, so the returned state matches a full pass bit for
+        bit — the batch analogue of the scalar worklist STA.
+        """
+        tables = self.tables
+        arrival = arrival.copy()
+        gate_delay = gate_delay.copy()
+        G = self.G
+        levels = self.gate_level
+        num_levels = len(self.level_idx)
+        # Push-based worklist: a gate re-evaluates iff it is in the
+        # frontier or a fanin arrival changed; changed arrivals mark
+        # their sink gates (always at strictly later levels), so an
+        # ascending level sweep touching only marked gates is exact.
+        pending = np.zeros(G, dtype=bool)
+        pending[dirty_gates] = True
+        level_count = np.bincount(levels[dirty_gates], minlength=num_levels)
+        for level, idx in enumerate(self.level_idx):
+            if not level_count[level]:
+                continue
+            sel = idx[pending[idx]]
+            cells = self.gate_cell[sel]
+            load = self.net_loads(self.gate_out[sel])
+            delay = self.tau * (
+                tables.p[cells] + tables.g[cells] * (load / self.cap_gate[sel])
+            )
+            gate_delay[sel] = delay
+            worst = arrival[self.gate_in[sel]].max(axis=1)
+            np.maximum(worst, 0.0, out=worst)
+            new_arrival = worst + delay
+            out = self.gate_out[sel]
+            changed = new_arrival != arrival[out]
+            arrival[out] = new_arrival
+            if changed.any():
+                sinks = self.net_sink_gate[out[changed]].ravel()
+                sinks = sinks[sinks < G]
+                fresh = sinks[~pending[sinks]]
+                if len(fresh):
+                    pending[fresh] = True
+                    # fresh may repeat a gate (sink of two changed nets);
+                    # the overcount is harmless — level_count only gates
+                    # the skip, and pending[idx] is exact.
+                    level_count += np.bincount(
+                        levels[fresh], minlength=num_levels
+                    )
+        endpoints = arrival[self.po_net] + self.po_margin
+        crit_local = np.argmax(endpoints.reshape(self.B, self.po_count), axis=1)
+        crit_po = np.arange(self.B) * self.po_count + crit_local
+        delay_ns = endpoints[crit_po]
+        return arrival, gate_delay, delay_ns, crit_po
+
+    def trace_paths(self, crit_po: np.ndarray, arrival: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`trace_path` over several graphs in lockstep.
+
+        Returns a padded ``(len(crit_po), max_len)`` matrix of gate
+        indices, input-side first, -1 past each path's end.  Each row
+        equals the scalar walk: the next net is the first strict-max
+        arrival over the gate's real pins (dummy pads masked to -inf,
+        ``np.argmax``'s first-wins tie-break is the scalar scan's).
+        """
+        k = len(crit_po)
+        net = self.po_net[crit_po]
+        alive = np.ones(k, dtype=bool)
+        rows = np.arange(k)
+        gate_in, net_driver = self.gate_in, self.net_driver
+        cols: List[np.ndarray] = []
+        # Sentinel: the dummy net's arrival reads as -inf for the walk,
+        # so pad pins lose every argmax without a masking pass.
+        saved_dummy = arrival[self.N]
+        arrival[self.N] = -np.inf
+        while True:
+            gate = net_driver[net]
+            alive &= gate >= 0
+            if not alive.any():
+                break
+            gate = np.where(alive, gate, 0)
+            cols.append(np.where(alive, gate, -1))
+            pins = gate_in[gate]
+            best = np.argmax(arrival[pins], axis=1)
+            net = np.where(alive, pins[rows, best], -1)
+        arrival[self.N] = saved_dummy
+        if not cols:
+            return np.full((k, 0), -1, dtype=np.int64)
+        mat = np.stack(cols, axis=1)  # walk order: output-side first
+        lengths = (mat >= 0).sum(axis=1)
+        # Reverse each row's valid prefix (paths are input-side first).
+        take = lengths[:, None] - 1 - np.arange(mat.shape[1])[None, :]
+        return np.where(take >= 0, mat[rows[:, None], np.maximum(take, 0)], -1)
 
     def trace_path(self, crit_po: int, arrival: np.ndarray) -> List[int]:
         """Mirror of analyze_timing's backwards critical-path walk."""
@@ -702,7 +848,8 @@ class _PackedBatch:
 # ----------------------------------------------------------------------
 # Batched sizing (mirror of physical.size_gates, batch-lockstep)
 # ----------------------------------------------------------------------
-def _size_gates_batched(pb: _PackedBatch, options: SynthesisOptions):
+def _size_gates_batched(pb: _PackedBatch, options: SynthesisOptions,
+                        dirty_sta: bool = False):
     """Run every graph's sizing loop simultaneously.
 
     Each pass mirrors ``size_gates`` decision for decision: critical-path
@@ -710,12 +857,19 @@ def _size_gates_batched(pb: _PackedBatch, options: SynthesisOptions):
     vectorized step* (so earlier swaps feed later gains, as in the scalar
     loop), area recovery is one vectorized sweep against the pass-entry
     report, and regression rollback/early-stop happen per graph.
+
+    With ``dirty_sta`` the accept/rollback timing check runs through
+    :meth:`_PackedBatch.resta` over the frontier of swapped gates (plus
+    their fanin drivers, whose loads changed) instead of a full
+    :meth:`_PackedBatch.sta` pass — bit-identical, and the main wall-
+    clock saving of the incremental pipeline.  The initial STA is always
+    a full pass.
     """
     tables = pb.tables
     arrival, gate_delay, delay_ns, crit_po = pb.sta()
     if options.sizing_passes <= 0:
         return delay_ns, crit_po
-    paths = [pb.trace_path(int(crit_po[b]), arrival) for b in range(pb.B)]
+    path_mat = pb.trace_paths(crit_po, arrival)
     active = np.ones(pb.B, dtype=bool)
     graph_ids = np.arange(pb.B)
 
@@ -724,16 +878,18 @@ def _size_gates_batched(pb: _PackedBatch, options: SynthesisOptions):
             break
         snapshot = pb.gate_cell[: pb.G].copy()
         changed = np.zeros(pb.B, dtype=bool)
+        swapped_parts: List[np.ndarray] = []
 
         # ---- critical-path upsizing, worst offenders first ------------
-        ordered = [
-            sorted(paths[b], key=lambda g: -gate_delay[g]) if active[b] else []
-            for b in range(pb.B)
-        ]
-        max_len = max((len(p) for p in ordered), default=0)
-        path_arr = np.full((pb.B, max_len), -1, dtype=np.int64)
-        for b, p in enumerate(ordered):
-            path_arr[b, : len(p)] = p
+        # Stable descending-delay sort per row == the scalar's
+        # sorted(path, key=-delay); pads get key +inf and land last.
+        key = np.where(path_mat >= 0, -gate_delay[path_mat], np.inf)
+        path_arr = np.take_along_axis(
+            path_mat, np.argsort(key, axis=1, kind="stable"), axis=1
+        )
+        path_arr[~active] = -1
+        lengths = (path_arr >= 0).sum(axis=1)
+        max_len = int(lengths.max()) if len(lengths) else 0
         for k in range(max_len):
             col = path_arr[:, k]
             sel = col >= 0
@@ -752,22 +908,23 @@ def _size_gates_batched(pb: _PackedBatch, options: SynthesisOptions):
                 tables.p[up_safe] + tables.g[up_safe] * (load / big_cap)
             ) - pb.tau * (tables.p[cur] + tables.g[cur] * (load / cur_cap))
             cap_delta = big_cap - cur_cap
-            fanin_delta = np.zeros(len(gates))
-            for pin in range(3):
-                pin_net = pb.gate_in[gates, pin]
-                driver = pb.net_driver[pin_net]
-                has_driver = driver >= 0
-                driver_safe = np.where(has_driver, driver, 0)
-                driver_cell = pb.gate_cell[driver_safe]
-                term = (
-                    tables.tau_g[driver_cell] * cap_delta
-                    / tables.cap[driver_cell]
-                )
-                fanin_delta = fanin_delta + np.where(has_driver, term, 0.0)
+            # Fanin slowdown, all three pins at once; summing the pad
+            # zeros left to right matches the scalar pin loop exactly.
+            driver = pb.net_driver[pb.gate_in[gates]]
+            has_driver = driver >= 0
+            driver_cell = pb.gate_cell[np.where(has_driver, driver, 0)]
+            term = (
+                tables.tau_g[driver_cell] * cap_delta[:, None]
+                / tables.cap[driver_cell]
+            )
+            fanin_delta = np.where(has_driver, term, 0.0).sum(axis=1)
             apply = has_up & ((own_delta + fanin_delta) < -1e-6)
             if apply.any():
-                pb.gate_cell[gates[apply]] = up[apply]
+                swapped = gates[apply]
+                pb.gate_cell[swapped] = up[apply]
+                pb.cap_gate[swapped] = tables.cap[up[apply]]
                 changed[graph_ids[sel][apply]] = True
+                swapped_parts.append(swapped)
 
         # ---- slack-driven area recovery -------------------------------
         if options.area_recovery:
@@ -784,17 +941,28 @@ def _size_gates_batched(pb: _PackedBatch, options: SynthesisOptions):
             if shrink.any():
                 idx = np.flatnonzero(shrink)
                 pb.gate_cell[idx] = down[idx]
+                pb.cap_gate[idx] = tables.cap[down[idx]]
                 changed[np.unique(pb.gate_graph[idx])] = True
+                swapped_parts.append(idx)
 
         # ---- accept / rollback / stop ---------------------------------
         still = active & changed
         if not still.any():
             break
-        new_arrival, new_gate_delay, new_delay, new_crit = pb.sta()
+        if dirty_sta:
+            swapped = np.unique(np.concatenate(swapped_parts))
+            fanin = pb.net_driver[pb.gate_in[swapped].ravel()]
+            dirty = np.unique(np.concatenate([swapped, fanin[fanin >= 0]]))
+            new_arrival, new_gate_delay, new_delay, new_crit = pb.resta(
+                arrival, gate_delay, dirty
+            )
+        else:
+            new_arrival, new_gate_delay, new_delay, new_crit = pb.sta()
         regressed = still & (new_delay > delay_ns + 1e-12)
         if regressed.any():
             mask = regressed[pb.gate_graph]
             pb.gate_cell[: pb.G][mask] = snapshot[mask]
+            pb.cap_gate[: pb.G][mask] = tables.cap[snapshot[mask]]
         accepted = still & ~regressed
         delay_ns = np.where(accepted, new_delay, delay_ns)
         crit_po = np.where(accepted, new_crit, crit_po)
@@ -802,11 +970,58 @@ def _size_gates_batched(pb: _PackedBatch, options: SynthesisOptions):
             np.append(accepted[pb.net_graph], False), new_arrival, arrival
         )
         gate_delay = np.where(accepted[pb.gate_graph], new_gate_delay, gate_delay)
-        for b in np.flatnonzero(accepted):
-            paths[b] = pb.trace_path(int(crit_po[b]), arrival)
+        acc = np.flatnonzero(accepted)
+        if len(acc):
+            traced = pb.trace_paths(crit_po[acc], arrival)
+            path_mat = np.full((pb.B, traced.shape[1]), -1, dtype=np.int64)
+            path_mat[acc] = traced
         active = accepted
 
     return delay_ns, crit_po
+
+
+# ----------------------------------------------------------------------
+# Result extraction (shared with repro.synth.incremental)
+# ----------------------------------------------------------------------
+def _extract_results(
+    pb: _PackedBatch, delay_ns: np.ndarray, crit_po: np.ndarray
+) -> List[PhysicalResult]:
+    results: List[PhysicalResult] = []
+    tables = pb.tables
+    function_names = tables.function_names
+    num_functions = len(function_names)
+    cells_flat = pb.gate_cell[: pb.G]
+    gate_areas = tables.area[cells_flat]
+    histograms = np.bincount(
+        tables.function_id[cells_flat]
+        + np.repeat(np.arange(pb.B), np.diff(pb.gate_off)) * num_functions,
+        minlength=pb.B * num_functions,
+    ).reshape(pb.B, num_functions)
+    for b in range(pb.B):
+        goff, gend = int(pb.gate_off[b]), int(pb.gate_off[b + 1])
+        noff, nend = int(pb.net_off[b]), int(pb.net_off[b + 1])
+        # np.add.accumulate is a strict left-to-right fold (unlike
+        # np.sum / reduceat, which regroup pairwise), so its last element
+        # reproduces Netlist.area() / total_wire_length() bit for bit.
+        area = float(np.add.accumulate(gate_areas[goff:gend])[-1])
+        wirelength = float(np.add.accumulate(pb.wire_lengths[noff:nend])[-1])
+        histogram = histograms[b]
+        results.append(
+            PhysicalResult(
+                area_um2=area,
+                delay_ns=float(delay_ns[b]),
+                num_gates=gend - goff,
+                num_buffers=int(pb.num_buffers[b]),
+                wirelength_um=wirelength,
+                cell_counts={
+                    function_names[i]: int(count)
+                    for i, count in enumerate(histogram[:num_functions])
+                    if count
+                },
+                critical_output=pb.po_names[int(crit_po[b]) % pb.po_count],
+            )
+        )
+    return results
 
 
 # ----------------------------------------------------------------------
@@ -832,37 +1047,6 @@ def synthesize_many(
         _build_lean(graph, tables, circuit_type, options, level_stack[b])
         for b, graph in enumerate(graphs)
     ]
-    pb = _PackedBatch(leans, tables, library, template)
+    pb = _PackedBatch(_flatten_leans(leans, template), tables, library, template)
     delay_ns, crit_po = _size_gates_batched(pb, options)
-
-    results: List[PhysicalResult] = []
-    area_of = tables.area
-    function_names = tables.function_names
-    num_functions = len(function_names)
-    for b, ln in enumerate(leans):
-        goff, gend = int(pb.gate_off[b]), int(pb.gate_off[b + 1])
-        noff, nend = int(pb.net_off[b]), int(pb.net_off[b + 1])
-        cells = pb.gate_cell[goff:gend]
-        # Python sums in gate/net order — the exact accumulation order of
-        # Netlist.area() and placement.total_wire_length().
-        area = sum(area_of[cells].tolist())
-        wirelength = sum(pb.wire_lengths[noff:nend].tolist())
-        histogram = np.bincount(
-            tables.function_id[cells], minlength=num_functions
-        )
-        results.append(
-            PhysicalResult(
-                area_um2=area,
-                delay_ns=float(delay_ns[b]),
-                num_gates=len(ln.gate_cell),
-                num_buffers=ln.num_buffers,
-                wirelength_um=wirelength,
-                cell_counts={
-                    function_names[i]: int(count)
-                    for i, count in enumerate(histogram[:num_functions])
-                    if count
-                },
-                critical_output=pb.po_names[int(crit_po[b]) % pb.po_count],
-            )
-        )
-    return results
+    return _extract_results(pb, delay_ns, crit_po)

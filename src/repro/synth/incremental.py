@@ -1,0 +1,668 @@
+"""Delta-aware incremental synthesis over structurally-shared populations.
+
+Search populations (GA offspring, BO acquisition batches) are mostly
+*small edits of each other*: a mutated Sklansky tree shares almost every
+fanin cone with its parent.  This module exploits that at two levels,
+while keeping every :class:`~repro.synth.physical.PhysicalResult` field
+**bit-identical** to the reference flow:
+
+1. **Delta planning** (:func:`plan_deltas`) — using the Merkle cone keys
+   of :mod:`repro.prefix.canonical`, the population is split into a few
+   *anchors* (structurally novel graphs) and the *matched* majority
+   whose internal cones overlap an anchor (or a caller-provided base
+   graph) above :data:`SHARE_THRESHOLD`.  Anchors take the reference
+   batched flow (``full_fallbacks``); matched graphs ride the delta
+   pipeline (``incremental_evals``, with ``cone_hits`` counting their
+   shared cones).
+
+2. **Delta evaluation** (:func:`_synthesize_delta`) — matched graphs are
+   built by a *vectorized structural builder* (the population's operator
+   schedule, needs table and gate blocks derived with batch-wide numpy
+   scatters instead of per-graph Python loops) and sized with the
+   cone-limited batched STA (:meth:`_PackedBatch.resta`): after each
+   sizing pass only the fanout cones of swapped gates are re-timed.
+
+Bit-identity is structural, not numerical luck: the vectorized builder
+emits the exact :class:`_FlatPopulation` the lean per-graph builders
+produce (same gate order, sink order and column values), and the dirty
+STA re-evaluates gates with the reference float operations, stopping on
+bitwise-equal arrivals.  Splitting a population into separate batches is
+itself exact because the batched flow treats graphs independently.
+``tests/test_synth_incremental.py`` asserts equality across circuit
+types, libraries, styles and IO profiles; ``REPRO_INCREMENTAL_EVAL=0``
+disables the path entirely.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import Counter, OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..prefix.canonical import cone_keys
+from ..prefix.graph import PrefixGraph
+from ..prefix.metrics import batch_levels, stacked_grids
+from .batched import (
+    _FlatPopulation,
+    _IOTemplate,
+    _LibraryTables,
+    _PackedBatch,
+    _extract_results,
+    _size_gates_batched,
+    _tables_for,
+    synthesize_many,
+)
+from .library import CellLibrary
+from .physical import PhysicalResult, SynthesisOptions
+from .timing import IOTiming
+
+__all__ = [
+    "IncrementalStats",
+    "SHARE_THRESHOLD",
+    "incremental_enabled",
+    "plan_deltas",
+    "synthesize_population",
+]
+
+#: Minimum shared-cone fraction for a candidate to ride the delta path.
+SHARE_THRESHOLD = 0.5
+
+
+def incremental_enabled() -> bool:
+    """Kill switch: ``REPRO_INCREMENTAL_EVAL=0`` forces the full flow."""
+    return os.environ.get("REPRO_INCREMENTAL_EVAL", "1") != "0"
+
+
+@dataclass
+class IncrementalStats:
+    """Telemetry of one (or more) population evaluations.
+
+    ``incremental_evals`` — graphs that took the delta pipeline;
+    ``cone_hits`` — their internal cones shared with the chosen base;
+    ``full_fallbacks`` — graphs evaluated by the reference flow (anchors,
+    guard failures, or the kill switch).
+    """
+
+    incremental_evals: int = 0
+    cone_hits: int = 0
+    full_fallbacks: int = 0
+
+    def merge(self, other: "IncrementalStats") -> None:
+        self.incremental_evals += other.incremental_evals
+        self.cone_hits += other.cone_hits
+        self.full_fallbacks += other.full_fallbacks
+
+
+# Counters are consulted once per plan per graph; populations overlap
+# heavily between engine batches, so memoize alongside the cone keys.
+_COUNTERS: "OrderedDict[bytes, Counter]" = OrderedDict()
+_COUNTER_LIMIT = 2048
+
+
+def _cone_counter(graph: PrefixGraph) -> Counter:
+    """Multiset of (cone key, width) over a graph's internal nodes."""
+    identity = graph.key()
+    cached = _COUNTERS.get(identity)
+    if cached is not None:
+        _COUNTERS.move_to_end(identity)
+        return cached
+    counter = Counter(
+        (key, i - j) for (i, j), key in cone_keys(graph).items() if i != j
+    )
+    _COUNTERS[identity] = counter
+    if len(_COUNTERS) > _COUNTER_LIMIT:
+        _COUNTERS.popitem(last=False)
+    return counter
+
+
+def plan_deltas(
+    graphs: Sequence[PrefixGraph],
+    base_hints: Sequence[PrefixGraph] = (),
+    threshold: float = SHARE_THRESHOLD,
+) -> Tuple[List[int], List[int], List[int]]:
+    """Greedy anchor selection over a population.
+
+    Each graph is compared (multiset cone-key overlap) against the
+    caller's ``base_hints`` and the anchors picked so far — *not* all
+    pairs, which would dominate the runtime the delta path is meant to
+    save.  Returns ``(matched, anchors, shared)``: indices of graphs on
+    the delta path, indices of anchor graphs, and per-matched-graph
+    shared-cone counts (aligned with ``matched``).
+    """
+    hint_counters = [_cone_counter(g) for g in base_hints]
+    anchors: List[int] = []
+    anchor_counters: List[Counter] = []
+    matched: List[int] = []
+    shared: List[int] = []
+    for index, graph in enumerate(graphs):
+        counter = _cone_counter(graph)
+        total = sum(counter.values())
+        best = 0
+        if total:
+            for base in hint_counters:
+                best = max(best, sum((counter & base).values()))
+            for base in anchor_counters:
+                best = max(best, sum((counter & base).values()))
+        if total and best >= threshold * total:
+            matched.append(index)
+            shared.append(best)
+        else:
+            anchors.append(index)
+            anchor_counters.append(counter)
+    return matched, anchors, shared
+
+
+# ----------------------------------------------------------------------
+# Vectorized structural builder (batch-wide mirror of the lean builders)
+# ----------------------------------------------------------------------
+def _batch_ops(grids: np.ndarray, levels: np.ndarray):
+    """All graphs' operator schedules at once, sorted like ``_span_plan``.
+
+    ``np.nonzero`` over the stacked grids walks cells in (graph, row,
+    column) order, so consecutive entries within one (graph, row) run
+    are exactly the present-column pairs ``(j, k)`` of ``_span_plan``.
+    Returns per-op arrays ``(ob, oi, oj, ok, lev)`` sorted by
+    ``(graph, level, i, j)`` — the per-graph ``ops.sort()`` order.
+    """
+    b_idx, i_idx, j_idx = np.nonzero(grids)
+    if len(b_idx) > 1:
+        pair = (b_idx[:-1] == b_idx[1:]) & (i_idx[:-1] == i_idx[1:])
+    else:
+        pair = np.zeros(0, dtype=bool)
+    ob = b_idx[:-1][pair]
+    oi = i_idx[:-1][pair]
+    oj = j_idx[:-1][pair]
+    ok = j_idx[1:][pair]
+    lev = levels[ob, oi, oj]
+    order = np.lexsort((oj, oi, lev, ob))
+    return ob[order], oi[order], oj[order], ok[order], lev[order]
+
+
+def _batch_needs(B: int, n: int, ob, oi, oj, ok, lev) -> np.ndarray:
+    """Vectorized ``_propagate_consumers`` truth tables, all graphs.
+
+    The scalar sweep walks ops in descending (level, i, j) order; an op
+    at level L (its own node's level) only *writes* strictly lower-level
+    nodes (its parents) and only *reads* its own node, so processing one
+    level at a time is race-free and order within a level is immaterial.
+    """
+    needs = np.zeros((B, n, n), dtype=bool)
+    if not len(ob):
+        return needs
+    for level in range(int(lev.max()), 0, -1):
+        sel = lev == level
+        if not sel.any():
+            continue
+        sb, si, sj, sk = ob[sel], oi[sel], oj[sel], ok[sel]
+        needs[sb, si, sk] = True  # p_up always feeds the carry operator
+        cond = needs[sb, si, sj]  # p' = p_up & p_lo only if p' is needed
+        needs[sb[cond], sk[cond] - 1, sj[cond]] = True
+    return needs
+
+
+def _assemble_adder(graphs, tables, template, style, ob, oi, oj, ok, needs):
+    """Pre-buffering flat arrays for the adder mapping (all graphs)."""
+    n = graphs[0].n
+    B = len(graphs)
+    npi = template.num_pis  # 2n
+    and2, xor2 = tables.smallest["AND2"], tables.smallest["XOR2"]
+    or2, aoi21, inv = (
+        tables.smallest["OR2"], tables.smallest["AOI21"], tables.smallest["INV"],
+    )
+    needs_val = needs[ob, oi, oj]
+    block = 2 + needs_val.astype(np.int64)
+    op_counts = np.bincount(ob, minlength=B)
+    op_start = np.concatenate([[0], np.cumsum(op_counts)])
+    block_cum = np.concatenate([[0], np.cumsum(block)])
+    S = block_cum[op_start[1:]] - block_cum[op_start[:-1]]  # per-graph sizes
+    # Local index of each op's first gate: leaves, then prior blocks.
+    lb = 2 * n + (block_cum[:-1] - block_cum[op_start[:-1]][ob])
+
+    # Net tables: scatter every op's outputs, then gather parent nets —
+    # safe because each (graph, i, j) is written by exactly one op.
+    diag = np.arange(n)
+    G_net = np.zeros((B, n, n), dtype=np.int64)
+    P_net = np.zeros((B, n, n), dtype=np.int64)
+    G_net[:, diag, diag] = npi + 2 * diag
+    P_net[:, diag, diag] = npi + 2 * diag + 1
+    G_net[ob, oi, oj] = npi + lb + 1
+    P_net[ob[needs_val], oi[needs_val], oj[needs_val]] = (npi + lb + 2)[needs_val]
+    p_up = P_net[ob, oi, ok]
+    g_lo = G_net[ob, ok - 1, oj]
+    g_up = G_net[ob, oi, ok]
+    p_lo = P_net[ob, ok - 1, oj]
+
+    m = 2 * n + S + (n - 1)  # per-graph gate counts (pre-buffering)
+    goff = np.concatenate([[0], np.cumsum(m)])
+    M = int(goff[-1])
+    gate_cell = np.empty(M, dtype=np.int64)
+    gate_col = np.empty(M, dtype=np.float64)
+    pin_counts = np.empty(M, dtype=np.int64)
+    pins = np.full((M, 3), -1, dtype=np.int64)
+
+    # Leaf g/p pairs: gates 2i (AND2) and 2i+1 (XOR2), pins [a_i, b_i].
+    leaf = goff[:-1, None] + np.arange(2 * n)[None, :]
+    gate_cell[leaf] = np.tile([and2, xor2], n)
+    gate_col[leaf] = np.repeat(diag, 2).astype(np.float64)
+    pin_counts[leaf] = 2
+    pins[leaf, 0] = np.repeat(diag, 2)
+    pins[leaf, 1] = np.repeat(diag + n, 2)
+
+    # Operator blocks (2 carry gates + optional propagate AND2).
+    gf = goff[ob] + lb
+    aoi_out = npi + lb  # net of the block's first gate
+    if style == "aoi":
+        gate_cell[gf] = aoi21
+        pins[gf, 0] = p_up
+        pins[gf, 1] = g_lo
+        pins[gf, 2] = g_up
+        pin_counts[gf] = 3
+        gate_cell[gf + 1] = inv
+        pins[gf + 1, 0] = aoi_out
+        pin_counts[gf + 1] = 1
+    else:
+        gate_cell[gf] = and2
+        pins[gf, 0] = p_up
+        pins[gf, 1] = g_lo
+        pin_counts[gf] = 2
+        gate_cell[gf + 1] = or2
+        pins[gf + 1, 0] = g_up
+        pins[gf + 1, 1] = aoi_out
+        pin_counts[gf + 1] = 2
+    gate_col[gf] = oi
+    gate_col[gf + 1] = oi
+    g3 = gf[needs_val] + 2
+    gate_cell[g3] = and2
+    pins[g3, 0] = p_up[needs_val]
+    pins[g3, 1] = p_lo[needs_val]
+    pin_counts[g3] = 2
+    gate_col[g3] = oi[needs_val]
+
+    # Sum stage: XOR2(p_i, carry_{i-1}) for i in 1..n-1.
+    sum_base = goff[:-1] + 2 * n + S
+    if n > 1:
+        srow = sum_base[:, None] + np.arange(n - 1)[None, :]
+        gate_cell[srow] = xor2
+        pins[srow, 0] = npi + 2 * np.arange(1, n) + 1  # leaf p_i
+        pins[srow, 1] = G_net[:, : n - 1, 0]  # carry = g[i-1][0]
+        pin_counts[srow] = 2
+        gate_col[srow] = np.arange(1, n).astype(np.float64)
+
+    po_net = np.empty((B, n + 1), dtype=np.int64)
+    po_net[:, 0] = npi + 1  # s[0] = leaf p_0
+    if n > 1:
+        po_net[:, 1:n] = (npi + 2 * n + S)[:, None] + np.arange(n - 1)
+    po_net[:, n] = G_net[:, n - 1, 0]  # cout
+    return m, gate_cell, pin_counts, pins, gate_col, po_net.ravel()
+
+
+def _assemble_xor_or(graphs, tables, template, circuit_type, ob, oi, oj, ok):
+    """Pre-buffering flat arrays for the gray / lzd mappings."""
+    n = graphs[0].n
+    B = len(graphs)
+    op_cell = tables.smallest["XOR2" if circuit_type == "gray" else "OR2"]
+    op_counts = np.bincount(ob, minlength=B)
+    op_start = np.concatenate([[0], np.cumsum(op_counts)])
+    t_local = np.arange(len(ob)) - op_start[:-1][ob]  # op index within graph
+
+    diag = np.arange(n)
+    V_net = np.zeros((B, n, n), dtype=np.int64)
+    V_net[:, diag, diag] = n - 1 - diag  # reversed PI nets
+    V_net[ob, oi, oj] = n + t_local
+    up = V_net[ob, oi, ok]
+    lo = V_net[ob, ok - 1, oj]
+
+    extra = 0 if circuit_type == "gray" else 2 * (n - 1) + 1
+    m = op_counts + extra
+    goff = np.concatenate([[0], np.cumsum(m)])
+    M = int(goff[-1])
+    gate_cell = np.empty(M, dtype=np.int64)
+    gate_col = np.empty(M, dtype=np.float64)
+    pin_counts = np.empty(M, dtype=np.int64)
+    pins = np.full((M, 3), -1, dtype=np.int64)
+
+    gop = goff[ob] + t_local
+    gate_cell[gop] = op_cell
+    pins[gop, 0] = up
+    pins[gop, 1] = lo
+    pin_counts[gop] = 2
+    gate_col[gop] = oi
+
+    if circuit_type == "gray":
+        return m, gate_cell, pin_counts, pins, gate_col, V_net[:, :, 0].ravel()
+
+    # lzd one-hot chain: INV(prev flag) + AND2(flag, not_prev) per bit,
+    # plus the trailing all_zero INV — mirror of _map_xor_or_lean.
+    and2, inv = tables.smallest["AND2"], tables.smallest["INV"]
+    chain_base = goff[:-1] + op_counts  # first chain gate per graph
+    po_net = np.empty((B, n + 1), dtype=np.int64)
+    po_net[:, 0] = V_net[:, 0, 0]  # hot[0]
+    if n > 1:
+        ginv = chain_base[:, None] + 2 * np.arange(n - 1)[None, :]
+        gand = ginv + 1
+        gate_cell[ginv] = inv
+        pins[ginv, 0] = V_net[:, : n - 1, 0]  # prev_flag = value[i-1][0]
+        pin_counts[ginv] = 1
+        gate_col[ginv] = np.arange(1, n).astype(np.float64)
+        gate_cell[gand] = and2
+        pins[gand, 0] = V_net[:, 1:n, 0]  # flag = value[i][0]
+        pins[gand, 1] = n + ginv - goff[:-1, None]  # not_prev net
+        pin_counts[gand] = 2
+        gate_col[gand] = np.arange(1, n).astype(np.float64)
+        po_net[:, 1:n] = n + gand - goff[:-1, None]  # hot[i]
+    gzero = chain_base + 2 * (n - 1)
+    gate_cell[gzero] = inv
+    pins[gzero, 0] = V_net[:, n - 1, 0]
+    pin_counts[gzero] = 1
+    gate_col[gzero] = float(n - 1)
+    po_net[:, n] = n + gzero - goff[:-1]  # all_zero
+    return m, gate_cell, pin_counts, pins, gate_col, po_net.ravel()
+
+
+def _buffer_flat(m, gate_cell, pin_counts, flat_pins, gate_col, po_net,
+                 tables: _LibraryTables, template: _IOTemplate, max_fanout: int):
+    """Mirror of ``_buffer_fanout_lean`` over the flat pre-buffer arrays.
+
+    Only over-limit nets (and the buffer trees they grow) are touched in
+    Python; everything else stays in the already-built arrays.  Existing
+    sink pins are rewired in place in ``flat_pins``; per-graph buffer
+    gates are appended by an interleaved concatenate at the end.
+    """
+    if max_fanout < 2:
+        raise ValueError("max_fanout must be >= 2")
+    B = len(m)
+    npi = template.num_pis
+    goff = np.concatenate([[0], np.cumsum(m)])
+    M = int(goff[-1])
+    net_counts = m + npi
+    net_off = np.concatenate([[0], np.cumsum(net_counts)])
+    gate_graph = np.repeat(np.arange(B), m)
+    pin_off = np.concatenate([[0], np.cumsum(pin_counts)])
+    pin_gate = np.repeat(np.arange(M), pin_counts)
+    pin_slot = np.arange(len(flat_pins)) - pin_off[:-1][pin_gate]
+    global_pin = flat_pins + net_off[gate_graph[pin_gate]]
+    sink_counts = np.bincount(global_pin, minlength=int(net_off[-1]))
+    over = np.flatnonzero(sink_counts > max_fanout)
+    num_buffers = np.zeros(B, dtype=np.int64)
+    if not len(over):
+        return _FlatPopulation(
+            m, gate_cell, pin_counts, flat_pins, gate_col, po_net, num_buffers
+        )
+
+    # Sink lists in (gate, pin) order — flat_pins is gate-major/pin-minor,
+    # so a stable argsort groups each net's sinks in sink-list order.
+    order = np.argsort(global_pin, kind="stable")
+    sorted_nets = global_pin[order]
+    starts = np.searchsorted(sorted_nets, over)
+    ends = np.searchsorted(sorted_nets, over, side="right")
+    # Gather just the over-limit nets' sink ranges (not the whole batch).
+    span = ends - starts
+    span_off = np.concatenate([[0], np.cumsum(span)])
+    gather = np.repeat(starts - span_off[:-1], span) + np.arange(int(span_off[-1]))
+    sel_pins = order[gather]
+    sink_gate = pin_gate[sel_pins]
+    sink_slot = pin_slot[sel_pins]
+    over_graph = np.searchsorted(net_off, over, side="right") - 1
+    buf_caps = np.asarray(tables.buf_caps, dtype=np.float64)
+    buf_ids = np.asarray(tables.buf_ids, dtype=np.int64)
+    buf_cell: List[List[int]] = [[] for _ in range(B)]
+    buf_in: List[List[int]] = [[] for _ in range(B)]
+    buf_col: List[List[float]] = [[] for _ in range(B)]
+
+    # A net with at most max_fanout**2 sinks is fixed by one wave of
+    # groups (its ceil(s/mf) buffers themselves fit under the limit), so
+    # graphs whose over-limit nets all satisfy that build their whole
+    # buffer list in one vectorized pass; deeper trees (and libraries
+    # whose BUF variants aren't cap-sorted, where the first-fit scan
+    # can't become a searchsorted) take the per-graph queue loop below.
+    is_deep = np.zeros(B, dtype=bool)
+    if np.any(np.diff(buf_caps) < 0.0):
+        is_deep[over_graph] = True
+    else:
+        is_deep[over_graph[span > max_fanout * max_fanout]] = True
+    v = np.flatnonzero(~is_deep[over_graph])
+    vbuf_off = np.zeros(B + 1, dtype=np.int64)
+    vbuf_cell = vbuf_in = np.zeros(0, dtype=np.int64)
+    vbuf_col = np.zeros(0, dtype=np.float64)
+    if len(v):
+        # Scalar order: nets descending within a graph, groups ascending
+        # within a net, graphs independent (sorted ascending for slicing).
+        ordv = v[np.lexsort((-over[v], over_graph[v]))]
+        vspan = span[ordv]
+        ngroups = -(-vspan // max_fanout)
+        total = int(ngroups.sum())
+        gnet = np.repeat(ordv, ngroups)  # group -> index into `over`
+        gidx = np.arange(total) - np.repeat(
+            np.cumsum(ngroups) - ngroups, ngroups
+        )
+        local = gidx[:, None] * max_fanout + np.arange(max_fanout)[None, :]
+        valid = local < np.repeat(vspan, ngroups)[:, None]
+        pos = np.where(valid, span_off[gnet][:, None] + local, 0)
+        sg = sink_gate[pos]
+        # Group load: caps in sink order, zero-padded — np.add.accumulate
+        # is the exact left-to-right fold of the scalar sum() (trailing
+        # +0.0 never changes a positive partial sum).
+        caps_m = np.where(valid, tables.cap[gate_cell[sg]], 0.0)
+        load = np.add.accumulate(caps_m, axis=1)[:, -1]
+        cell_idx = np.minimum(
+            np.searchsorted(buf_caps * 4.0, load, side="left"),
+            len(buf_caps) - 1,
+        )
+        colm = gate_col[sg]
+        colok = valid & ~np.isnan(colm)
+        # NaN columns are skipped, not zeroed: c + 0.0 == c exactly, so
+        # substituting 0.0 reproduces the skip-sum bit for bit.
+        csum = np.add.accumulate(np.where(colok, colm, 0.0), axis=1)[:, -1]
+        ccount = colok.sum(axis=1)
+        centroid = np.where(
+            ccount > 0, csum / np.maximum(ccount, 1), np.nan
+        )
+        gb = over_graph[gnet]
+        gcount = np.bincount(gb, minlength=B)
+        buf_local = np.arange(total) - (np.cumsum(gcount) - gcount)[gb]
+        buf_out_local = npi + m[gb] + buf_local
+        pp = pin_off[sg] + sink_slot[pos]
+        flat_pins[pp[valid]] = np.broadcast_to(
+            buf_out_local[:, None], (total, max_fanout)
+        )[valid]
+        vbuf_cell = buf_ids[cell_idx]
+        vbuf_in = over[gnet] - net_off[gb]
+        vbuf_col = centroid
+        vbuf_off[1:] = np.cumsum(gcount)
+        num_buffers += gcount
+
+    deep_graphs = np.flatnonzero(is_deep).tolist()
+    if deep_graphs:
+        over_sink_gate = sink_gate.tolist()
+        over_sink_slot = sink_slot.tolist()
+        caps = tables.cap.tolist()
+        buf_pairs = list(zip(tables.buf_ids, tables.buf_caps))
+    for b in deep_graphs:
+        sel = np.flatnonzero(over_graph == b)
+        noff = int(net_off[b])
+        base = int(goff[b])
+        mb = int(m[b])
+        cells_b = buf_cell[b]
+        ins_b = buf_in[b]
+        cols_b = buf_col[b]
+        # net -> [(local gate, pin)] for the nets buffering will touch.
+        sinks: Dict[int, List[Tuple[int, int]]] = {}
+        for o in sel.tolist():
+            sinks[int(over[o]) - noff] = [
+                (over_sink_gate[p] - base, over_sink_slot[p])
+                for p in range(int(span_off[o]), int(span_off[o + 1]))
+            ]
+
+        def cap_of(gate: int) -> float:
+            if gate < mb:
+                return caps[gate_cell[base + gate]]
+            return caps[cells_b[gate - mb]]
+
+        def col_of(gate: int) -> Optional[float]:
+            column = gate_col[base + gate] if gate < mb else cols_b[gate - mb]
+            return None if np.isnan(column) else float(column)
+
+        def rewire(gate: int, pin: int, new_net: int) -> None:
+            if gate < mb:
+                flat_pins[pin_off[base + gate] + pin] = new_net
+            else:
+                ins_b[gate - mb] = new_net
+
+        queue = sorted(sinks)
+        while queue:
+            net = queue.pop()
+            slist = list(sinks[net])
+            if len(slist) <= max_fanout:
+                continue
+            groups = [
+                slist[k : k + max_fanout] for k in range(0, len(slist), max_fanout)
+            ]
+            for group in groups:
+                load = sum(cap_of(g) for g, _ in group)
+                cell_id = buf_pairs[0][0]
+                for cell_id, cap in buf_pairs:
+                    if cap * 4.0 >= load:
+                        break
+                sink_columns = [
+                    c for c in (col_of(g) for g, _ in group) if c is not None
+                ]
+                centroid = (
+                    sum(sink_columns) / len(sink_columns) if sink_columns
+                    else float("nan")
+                )
+                buf_gate = mb + len(cells_b)
+                buf_out = npi + buf_gate
+                cells_b.append(cell_id)
+                ins_b.append(net)
+                cols_b.append(centroid)
+                sinks[net].append((buf_gate, 0))
+                sinks[buf_out] = []
+                num_buffers[b] += 1
+                for sink in group:
+                    sinks[net].remove(sink)
+                    rewire(sink[0], sink[1], buf_out)
+                    sinks[buf_out].append(sink)
+            if len(sinks[net]) > max_fanout:
+                queue.append(net)
+
+    gate_counts = m + num_buffers
+    cell_parts, count_parts, pin_parts, col_parts = [], [], [], []
+    for b in range(B):
+        gs, ge = int(goff[b]), int(goff[b + 1])
+        ps, pe = int(pin_off[gs]), int(pin_off[ge])
+        if is_deep[b]:
+            bc = np.asarray(buf_cell[b], dtype=np.int64)
+            bi = np.asarray(buf_in[b], dtype=np.int64)
+            bcol = np.asarray(buf_col[b], dtype=np.float64)
+        else:
+            vs, ve = int(vbuf_off[b]), int(vbuf_off[b + 1])
+            bc = vbuf_cell[vs:ve]
+            bi = vbuf_in[vs:ve]
+            bcol = vbuf_col[vs:ve]
+        cell_parts += [gate_cell[gs:ge], bc]
+        count_parts += [pin_counts[gs:ge], np.ones(len(bc), dtype=np.int64)]
+        pin_parts += [flat_pins[ps:pe], bi]
+        col_parts += [gate_col[gs:ge], bcol]
+    return _FlatPopulation(
+        gate_counts,
+        np.concatenate(cell_parts),
+        np.concatenate(count_parts),
+        np.concatenate(pin_parts),
+        np.concatenate(col_parts),
+        po_net,
+        num_buffers,
+    )
+
+
+def _build_flat(
+    graphs: Sequence[PrefixGraph],
+    tables: _LibraryTables,
+    template: _IOTemplate,
+    circuit_type: str,
+    options: SynthesisOptions,
+) -> _FlatPopulation:
+    """Whole-population structural build, emitting ``_FlatPopulation``."""
+    grids = stacked_grids(graphs)
+    levels = batch_levels(grids)
+    ob, oi, oj, ok, lev = _batch_ops(grids, levels)
+    if circuit_type == "adder":
+        needs = _batch_needs(len(graphs), graphs[0].n, ob, oi, oj, ok, lev)
+        parts = _assemble_adder(
+            graphs, tables, template, options.mapping_style, ob, oi, oj, ok, needs
+        )
+    else:
+        parts = _assemble_xor_or(graphs, tables, template, circuit_type, ob, oi, oj, ok)
+    m, gate_cell, pin_counts, pins, gate_col, po_net = parts
+    flat_pins = pins.ravel()[pins.ravel() >= 0]
+    return _buffer_flat(
+        m, gate_cell, pin_counts, flat_pins, gate_col, po_net,
+        tables, template, options.max_fanout,
+    )
+
+
+def _synthesize_delta(
+    graphs: Sequence[PrefixGraph],
+    library: CellLibrary,
+    circuit_type: str,
+    io_timing: IOTiming,
+    options: SynthesisOptions,
+) -> List[PhysicalResult]:
+    """The fast pipeline: vectorized build + cone-limited sizing STA."""
+    tables = _tables_for(library)
+    template = _IOTemplate(graphs[0].n, circuit_type, io_timing)
+    flat = _build_flat(graphs, tables, template, circuit_type, options)
+    pb = _PackedBatch(flat, tables, library, template)
+    delay_ns, crit_po = _size_gates_batched(pb, options, dirty_sta=True)
+    return _extract_results(pb, delay_ns, crit_po)
+
+
+def synthesize_population(
+    graphs: Sequence[PrefixGraph],
+    library: CellLibrary,
+    circuit_type: str = "adder",
+    io_timing: Optional[IOTiming] = None,
+    options: Optional[SynthesisOptions] = None,
+    base_hints: Sequence[PrefixGraph] = (),
+    stats: Optional[IncrementalStats] = None,
+) -> Tuple[List[PhysicalResult], IncrementalStats]:
+    """Evaluate a population, routing shared structure to the delta path.
+
+    Results are bit-identical to :func:`repro.synth.synthesize_many`
+    (itself bit-identical to the scalar flow).  ``base_hints`` are
+    graphs the caller has already evaluated (e.g. a cache's cone-base
+    tier or the surviving parents of a GA round); candidates matching a
+    hint need no in-batch anchor.  Anchors ride the same batch — they
+    *are* the in-batch bases — but count as ``full_fallbacks``: they
+    found no base and pay for a full evaluation.  Any guard failure —
+    the kill switch, a degenerate batch, an unsupported circuit type or
+    mapping style — falls back to the reference flow for the whole
+    batch.
+    """
+    graphs = list(graphs)
+    if stats is None:
+        stats = IncrementalStats()
+    io_timing = io_timing or IOTiming()
+    options = options or SynthesisOptions()
+    supported = (
+        incremental_enabled()
+        and len(graphs) >= 2
+        and circuit_type in ("adder", "gray", "lzd")
+        and options.mapping_style in ("aoi", "andor")
+        and options.max_fanout >= 2
+        and len({graph.n for graph in graphs}) == 1
+    )
+    if not supported:
+        stats.full_fallbacks += len(graphs)
+        return (
+            synthesize_many(graphs, library, circuit_type, io_timing, options),
+            stats,
+        )
+    matched, anchors, shared = plan_deltas(graphs, base_hints)
+    results = _synthesize_delta(graphs, library, circuit_type, io_timing, options)
+    stats.incremental_evals += len(matched)
+    stats.cone_hits += sum(shared)
+    stats.full_fallbacks += len(anchors)
+    return results, stats

@@ -25,7 +25,16 @@ from .library import CellLibrary
 from .mapping import map_prefix_graph
 from .netlist import Netlist
 from .placement import place_datapath, total_wire_length
-from .timing import IOTiming, TimingReport, analyze_timing, net_load
+from .timing import (
+    IOTiming,
+    TimingReport,
+    analyze_timing,
+    dirty_after_swaps,
+    extract_report,
+    net_load,
+    retime,
+    timing_state,
+)
 
 __all__ = ["SynthesisOptions", "PhysicalResult", "buffer_fanout", "size_gates", "synthesize"]
 
@@ -146,10 +155,17 @@ def size_gates(
     critical delay; a regressing pass is rolled back and the loop stops,
     so the flow is monotone in delay and always terminates.
     """
-    report = analyze_timing(netlist, io_timing)
+    # One worklist-STA state carried across passes: each speculative pass
+    # re-times only the fanout cones of the gates it actually swapped
+    # (plus their fanin drivers, whose loads changed) instead of paying a
+    # full-graph pass — bit-identical to re-analyzing from scratch, see
+    # repro.synth.timing.retime.
+    order = netlist.topological_order()
+    state = retime(netlist, timing_state(netlist, io_timing), order=order)
+    report = extract_report(netlist, state, io_timing)
     for _ in range(passes):
         snapshot = [gate.cell for gate in netlist.gates]
-        changed = False
+        swapped: List[int] = []
         # Upsize along the critical path, worst offenders first.
         path = sorted(
             report.critical_path,
@@ -160,7 +176,7 @@ def size_gates(
             if target is not None and delta < -1e-6:
                 bigger = netlist.library.resize(netlist.gates[gate_index].cell, +1)
                 netlist.swap_cell(gate_index, bigger)
-                changed = True
+                swapped.append(gate_index)
         if area_recovery:
             threshold = slack_threshold * report.delay_ns
             for gate in netlist.gates:
@@ -170,16 +186,22 @@ def size_gates(
                     smaller = netlist.library.resize(gate.cell, -1)
                     if smaller is not None:
                         netlist.swap_cell(gate.index, smaller)
-                        changed = True
-        if not changed:
+                        swapped.append(gate.index)
+        if not swapped:
             break
-        new_report = analyze_timing(netlist, io_timing)
+        new_state = retime(
+            netlist,
+            state.copy(),
+            dirty_gates=dirty_after_swaps(netlist, swapped),
+            order=order,
+        )
+        new_report = extract_report(netlist, new_state, io_timing)
         if new_report.delay_ns > report.delay_ns + 1e-12:
             # The greedy local model mispredicted: roll back and stop.
             for gate, cell in zip(netlist.gates, snapshot):
                 gate.cell = cell
             break
-        report = new_report
+        state, report = new_state, new_report
     return report
 
 

@@ -5,6 +5,16 @@ on its output load (sink pin capacitances + wire capacitance from the
 placement), so sizing and buffering decisions feed back into timing exactly
 as in a real flow.
 
+Structured as a **worklist STA over an explicit** :class:`TimingState`:
+:func:`retime` accepts a *dirty frontier* of gates (the gates whose cell
+or output load changed) and re-evaluates only their fanout cones, cutting
+propagation the moment a recomputed arrival is bitwise equal to the
+stored one.  :func:`analyze_timing` is the monolithic entry point — a
+fresh state re-timed with every gate dirty — so full-graph analysis and
+cone-limited delta analysis share one propagation kernel and are
+bit-identical by construction (``tests/test_synth_timing_golden.py``
+pins the per-node values).
+
 Supports per-bit **IO timing constraints**: input arrival offsets and output
 required-time margins, the "bit input and output timings captured from a
 complete datapath" of the paper's realistic experiment (Sec. 5.4).  The
@@ -15,14 +25,24 @@ outputs.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from .netlist import Netlist
 from .placement import wire_length
 
-__all__ = ["IOTiming", "TimingReport", "analyze_timing", "net_load"]
+__all__ = [
+    "IOTiming",
+    "TimingReport",
+    "TimingState",
+    "analyze_timing",
+    "dirty_after_swaps",
+    "extract_report",
+    "net_load",
+    "retime",
+    "timing_state",
+]
 
 #: Capacitive load (fF) presented by a primary output (downstream logic).
 PO_LOAD_FF = 3.0
@@ -65,6 +85,26 @@ class TimingReport:
         return self.delay_ns - float(self.arrival_ns[net])
 
 
+@dataclass
+class TimingState:
+    """Mutable per-net/per-gate timing data the worklist STA maintains.
+
+    Valid only for a fixed netlist *structure*: cell swaps are what
+    :func:`retime` absorbs incrementally; adding gates or rewiring nets
+    requires a fresh state.
+    """
+
+    arrival_ns: np.ndarray  # per net
+    from_gate: np.ndarray  # per net: gate that set the arrival (-1 = PI)
+    gate_delay_ns: np.ndarray  # per gate
+
+    def copy(self) -> "TimingState":
+        """Independent snapshot (for speculative sizing passes)."""
+        return TimingState(
+            self.arrival_ns.copy(), self.from_gate.copy(), self.gate_delay_ns.copy()
+        )
+
+
 def net_load(netlist: Netlist, net: int) -> float:
     """Capacitive load (fF) on a net: sink pins + wire + PO load."""
     load = 0.0
@@ -77,20 +117,76 @@ def net_load(netlist: Netlist, net: int) -> float:
     return load
 
 
-def analyze_timing(netlist: Netlist, io_timing: Optional[IOTiming] = None) -> TimingReport:
-    """Propagate arrival times and extract the critical path."""
+def timing_state(netlist: Netlist, io_timing: Optional[IOTiming] = None) -> TimingState:
+    """A fresh (not yet propagated) state: PI arrivals set, gates untimed."""
     io_timing = io_timing or IOTiming()
-    tau = netlist.library.tau_ns
     num_nets = len(netlist.net_names)
     arrival = np.zeros(num_nets)
-    from_gate = np.full(num_nets, -1, dtype=np.int64)  # gate that set arrival
-
     for name, net in netlist.primary_inputs.items():
         arrival[net] = io_timing.arrival(name)
+    return TimingState(
+        arrival_ns=arrival,
+        from_gate=np.full(num_nets, -1, dtype=np.int64),
+        gate_delay_ns=np.zeros(len(netlist.gates)),
+    )
 
-    gate_delays = np.zeros(len(netlist.gates))
-    for gate_index in netlist.topological_order():
+
+def dirty_after_swaps(netlist: Netlist, swapped: Iterable[int]) -> List[int]:
+    """The dirty frontier induced by cell swaps on ``swapped`` gates.
+
+    A swapped gate's own delay changes (new cell, and its output load may
+    differ through downstream pin swaps); the *drivers of its input nets*
+    see a changed load through the new pin capacitance.  Everything else
+    is reached by arrival propagation inside :func:`retime`.
+    """
+    dirty = set()
+    for gate_index in swapped:
+        dirty.add(gate_index)
+        for net in netlist.gates[gate_index].inputs:
+            driver = netlist.net_driver[net]
+            if driver >= 0:
+                dirty.add(driver)
+    return sorted(dirty)
+
+
+def retime(
+    netlist: Netlist,
+    state: TimingState,
+    dirty_gates: Optional[Iterable[int]] = None,
+    order: Optional[Sequence[int]] = None,
+) -> TimingState:
+    """Worklist arrival propagation over a dirty frontier (in place).
+
+    ``dirty_gates`` are the gates whose delay must be re-evaluated (cell
+    or output load changed — see :func:`dirty_after_swaps`); ``None``
+    means *all* gates (a full pass).  Gates outside the frontier are
+    re-evaluated only when a fanin arrival actually changed, and
+    propagation stops wherever the recomputed arrival is bitwise equal
+    to the stored value — each re-evaluated gate performs the exact
+    float operations of the monolithic pass, so the state after retiming
+    equals a from-scratch analysis bit for bit.
+    """
+    tau = netlist.library.tau_ns
+    arrival = state.arrival_ns
+    from_gate = state.from_gate
+    gate_delays = state.gate_delay_ns
+    if order is None:
+        order = netlist.topological_order()
+    if dirty_gates is None:
+        frontier = None
+    else:
+        frontier = np.zeros(len(netlist.gates), dtype=bool)
+        frontier[list(dirty_gates)] = True
+    net_dirty = np.zeros(len(netlist.net_names), dtype=bool)
+
+    for gate_index in order:
         gate = netlist.gates[gate_index]
+        if frontier is not None and not frontier[gate_index]:
+            for net in gate.inputs:
+                if net_dirty[net]:
+                    break
+            else:
+                continue
         load = net_load(netlist, gate.output)
         delay = gate.cell.delay(load, tau)
         gate_delays[gate_index] = delay
@@ -98,9 +194,21 @@ def analyze_timing(netlist: Netlist, io_timing: Optional[IOTiming] = None) -> Ti
         for net in gate.inputs:
             if arrival[net] > worst:
                 worst = arrival[net]
-        arrival[gate.output] = worst + delay
+        new_arrival = worst + delay
+        if frontier is None or new_arrival != arrival[gate.output]:
+            arrival[gate.output] = new_arrival
+            net_dirty[gate.output] = True
         from_gate[gate.output] = gate_index
+    return state
 
+
+def extract_report(
+    netlist: Netlist, state: TimingState, io_timing: Optional[IOTiming] = None
+) -> TimingReport:
+    """Critical endpoint + backwards path walk over a propagated state."""
+    io_timing = io_timing or IOTiming()
+    arrival = state.arrival_ns
+    from_gate = state.from_gate
     worst_delay = -np.inf
     critical_output = ""
     critical_net = -1
@@ -126,5 +234,12 @@ def analyze_timing(netlist: Netlist, io_timing: Optional[IOTiming] = None) -> Ti
         arrival_ns=arrival,
         critical_output=critical_output,
         critical_path=path,
-        gate_delay_ns=gate_delays,
+        gate_delay_ns=state.gate_delay_ns,
     )
+
+
+def analyze_timing(netlist: Netlist, io_timing: Optional[IOTiming] = None) -> TimingReport:
+    """Propagate arrival times and extract the critical path (full pass)."""
+    io_timing = io_timing or IOTiming()
+    state = retime(netlist, timing_state(netlist, io_timing))
+    return extract_report(netlist, state, io_timing)

@@ -129,6 +129,41 @@ class TestEvaluationCache:
             assert fresh.get(fp, good[0].key()) == (1.0, 2.0)
         assert fresh.get(fp, good[1].key()) == (3.0, 4.0)
 
+    def test_corrupt_line_warning_names_shard_and_line(self, task, tmp_path):
+        # With many shards on disk, "a line was corrupt" is useless
+        # without saying *which* line of *which* shard: the warning must
+        # carry the path and the 1-based line number.
+        fp = task_fingerprint(task)
+        good = unique_graphs(16, 2)
+        cache = EvaluationCache(cache_dir=str(tmp_path))
+        cache.put(fp, good[0].key(), (1.0, 2.0))
+        cache.put(fp, good[1].key(), (3.0, 4.0))
+        path = tmp_path / f"{fp}.jsonl"
+        with open(path, "a") as handle:
+            handle.write("rotten line\n")  # line 3
+        with pytest.warns(RuntimeWarning, match=f"{fp}.jsonl:3"):
+            EvaluationCache(cache_dir=str(tmp_path)).get(fp, good[0].key())
+
+    def test_corrupt_append_line_number_counts_from_shard_start(
+        self, task, tmp_path
+    ):
+        # A long-lived reader ingests external appends incrementally; a
+        # corrupt appended line must still be numbered from the start of
+        # the shard, not from the reader's resume position.
+        fp = task_fingerprint(task)
+        good = unique_graphs(16, 3)
+        writer = EvaluationCache(cache_dir=str(tmp_path))
+        writer.put(fp, good[0].key(), (1.0, 2.0))
+        writer.put(fp, good[1].key(), (3.0, 4.0))
+        reader = EvaluationCache(cache_dir=str(tmp_path))
+        assert reader.get(fp, good[0].key()) == (1.0, 2.0)
+        path = tmp_path / f"{fp}.jsonl"
+        with open(path, "a") as handle:
+            handle.write("rotten line\n")  # line 3, appended externally
+        writer.put(fp, good[2].key(), (5.0, 6.0))
+        with pytest.warns(RuntimeWarning, match=f"{fp}.jsonl:3"):
+            assert reader.get(fp, good[2].key()) == (5.0, 6.0)
+
     def test_duplicate_keys_keep_latest_record(self, task, tmp_path):
         # Append-only shards are last-writer-wins; a reload must resolve
         # duplicates to the newest record (both served and re-persisted).
@@ -165,7 +200,9 @@ class TestEvaluationCache:
         monkeypatch.setattr(
             EvaluationCache,
             "_parse_line",
-            staticmethod(lambda raw: parsed.append(raw) or real(raw)),
+            staticmethod(
+                lambda raw, where="?": parsed.append(raw) or real(raw, where)
+            ),
         )
         assert reader.get(fp, graphs[5].key()) == (50.0, 1.0)
         assert len(parsed) == 2  # only the appended tail, not the 4 old lines
@@ -187,7 +224,9 @@ class TestEvaluationCache:
         monkeypatch.setattr(
             EvaluationCache,
             "_parse_line",
-            staticmethod(lambda raw: parsed.append(raw) or real(raw)),
+            staticmethod(
+                lambda raw, where="?": parsed.append(raw) or real(raw, where)
+            ),
         )
         assert cache.get(fp, graphs[2].key()) == (3.0, 1.0)
         assert len(parsed) == 1  # the foreign record only
@@ -520,12 +559,21 @@ class TestTelemetry:
         assert telemetry["vector_batches"] >= 1
         assert telemetry["vector_designs"] >= 10
         assert telemetry["vector_designs"] <= telemetry["synth_calls"]
-        assert telemetry["stage_seconds"].get("synthesis_vectorized", 0) > 0
+        # Population batches land in one of the vectorized stages: the
+        # delta-aware incremental pipeline when its guards admit the
+        # batch, the plain vectorized flow otherwise.
+        stages = telemetry["stage_seconds"]
+        assert (
+            stages.get("synthesis_vectorized", 0)
+            + stages.get("synthesis_incremental", 0)
+        ) > 0
         # The split stages partition total synthesis wall-clock.
-        total = telemetry["stage_seconds"]["synthesis"]
-        split = telemetry["stage_seconds"].get(
-            "synthesis_vectorized", 0.0
-        ) + telemetry["stage_seconds"].get("synthesis_scalar", 0.0)
+        total = stages["synthesis"]
+        split = (
+            stages.get("synthesis_vectorized", 0.0)
+            + stages.get("synthesis_incremental", 0.0)
+            + stages.get("synthesis_scalar", 0.0)
+        )
         assert split <= total + 1e-6
 
     def test_vectorized_fast_path_can_be_disabled(self, task, monkeypatch):

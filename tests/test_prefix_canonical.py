@@ -1,0 +1,156 @@
+"""Stability + collision regression tests for structural cone hashing.
+
+The contract of :mod:`repro.prefix.canonical`:
+
+* **relabeling stability** — cones with the same split tree hash equal,
+  no matter where they sit in the grid (or in which graph);
+* **sensitivity** — any single node/edge change inside a cone changes
+  its key, and any live-structure change changes the graph signature.
+
+Both properties are exercised across adder/gray/lzd-relevant structures
+and every bitwidth tier-1 uses (4..24); cone hashing itself is
+circuit-type independent (it digests the prefix structure that all three
+mappings consume).
+"""
+
+import numpy as np
+import pytest
+
+from helpers import unique_random_graphs
+
+from repro.prefix import (
+    PrefixGraph,
+    brent_kung,
+    cone_keys,
+    kogge_stone,
+    legalize,
+    ripple_carry,
+    shared_cone_stats,
+    signature,
+    sklansky,
+)
+
+SIZES = [4, 8, 12, 16, 24]
+STRUCTURES = [ripple_carry, sklansky, brent_kung, kogge_stone]
+
+
+class TestStability:
+    @pytest.mark.parametrize("n", SIZES)
+    @pytest.mark.parametrize("make", STRUCTURES)
+    def test_leaves_hash_equal(self, make, n):
+        keys = make(n).cone_keys()
+        leaf_keys = {keys[(i, i)] for i in range(n)}
+        assert len(leaf_keys) == 1
+
+    @pytest.mark.parametrize("n", SIZES)
+    @pytest.mark.parametrize("make", STRUCTURES)
+    def test_width2_cones_hash_equal_anywhere(self, make, n):
+        # A node whose both parents are leaves is the same sub-circuit
+        # wherever it appears.
+        graph = make(n)
+        keys = graph.cone_keys()
+        width2 = [
+            keys[(i, j)]
+            for (i, j) in graph.internal_nodes()
+            if graph.parents(i, j) == ((i, i), (i - 1, j)) and i - 1 == j
+        ]
+        assert len(width2) >= 1
+        assert len(set(width2)) == 1
+
+    @pytest.mark.parametrize("n", [8, 16])
+    def test_sklansky_recursion_relabeled(self, n):
+        # Sklansky's upper half [2n-1 : n] is a Sklansky(n) on renamed
+        # inputs: every cone key of the small tree must reappear,
+        # shifted by n rows/columns, in the big one.
+        small = sklansky(n).cone_keys()
+        big = sklansky(2 * n).cone_keys()
+        for (i, j), key in small.items():
+            assert big[(i + n, j + n)] == key
+
+    def test_keys_shared_across_distinct_graphs(self):
+        a, b = sklansky(8), brent_kung(8)
+        shared, total = shared_cone_stats(a, b)
+        assert 0 < shared < total  # common low cones, distinct high ones
+
+    def test_repeated_calls_memoized(self):
+        graph = sklansky(8)
+        assert graph.cone_keys() is cone_keys(graph)
+
+
+class TestSensitivity:
+    @pytest.mark.parametrize("n", SIZES)
+    @pytest.mark.parametrize("make", STRUCTURES)
+    def test_single_node_change_changes_keys(self, make, n):
+        # Toggle single cells (removals of mutable nodes, additions at
+        # empty cells); every distinct legalized mutant must re-hash the
+        # output cone of the touched row and change the signature.
+        graph = make(n)
+        keys = graph.cone_keys()
+        sig = signature(graph)
+        candidates = [(i, j, False) for (i, j) in graph.internal_nodes() if j > 0]
+        candidates += [
+            (i, j, True)
+            for i in range(2, n)
+            for j in range(1, i)
+            if not graph.grid[i, j]
+        ]
+        mutated = 0
+        for i, j, value in candidates:
+            if mutated >= 4:
+                break
+            mutant = legalize(graph.with_node(i, j, value))
+            if mutant.key() == graph.key():
+                continue  # legalization restored the original
+            mutated += 1
+            assert signature(mutant) != sig
+            # The output cone above the touched node must re-hash.
+            assert mutant.cone_keys()[(i, 0)] != keys[(i, 0)]
+        assert mutated >= 1
+
+    def test_edge_change_changes_cone(self):
+        # Same node set except one split point: (3, 0) decomposed with
+        # upper parent (3, 2) vs (3, 1) — an *edge* change.
+        left = np.tril(np.ones((4, 4), dtype=bool))
+        right = left.copy()
+        right[3, 2] = False  # (3,0) now splits at k=1
+        a, b = PrefixGraph(left), PrefixGraph(right)
+        assert a.cone_keys()[(3, 0)] != b.cone_keys()[(3, 0)]
+        assert signature(a) != signature(b)
+
+    @pytest.mark.parametrize("n", [8, 12, 16])
+    def test_random_population_signatures_distinct(self, n):
+        # Distinct grids must never collide on the whole-graph digest:
+        # with the nearest-upper-parent convention, every present cell is
+        # in some output's fanin cone, so signature ⇔ grid identity.
+        graphs = unique_random_graphs(n, 12, seed=3)
+        sigs = {signature(g) for g in graphs}
+        assert len(sigs) == len(graphs)
+
+
+class TestSharedStats:
+    def test_identical_graphs_fully_shared(self):
+        graph = sklansky(16)
+        shared, total = shared_cone_stats(graph, graph)
+        assert shared == total == len(graph.internal_nodes())
+
+    def test_multiset_semantics(self):
+        # ripple chains: candidate has strictly more serial spans than a
+        # 2-node base; the extra repetitions must not double-count.
+        cand, base = ripple_carry(8), ripple_carry(4)
+        shared, total = shared_cone_stats(cand, base)
+        assert total == len(cand.internal_nodes())
+        assert shared == len(base.internal_nodes())
+
+    def test_mutant_mostly_shared(self):
+        graph = sklansky(16)
+        mutant = None
+        for (i, j) in reversed(graph.internal_nodes()):
+            if j == 0:
+                continue
+            candidate = legalize(graph.with_node(i, j, False))
+            if candidate.key() != graph.key():
+                mutant = candidate
+                break
+        assert mutant is not None
+        shared, total = shared_cone_stats(mutant, graph)
+        assert shared / total > 0.5

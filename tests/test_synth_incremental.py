@@ -1,0 +1,341 @@
+"""Tests for the delta-aware incremental synthesis pipeline (PR 8).
+
+The contract of :mod:`repro.synth.incremental` is the same as the
+batched fast path's: **bit-identity** with the reference flow on every
+``PhysicalResult`` field, across circuit types, libraries, mapping
+styles, IO profiles and fanout limits — plus honest accounting of which
+graphs rode the delta path and which fell back.
+"""
+
+import numpy as np
+import pytest
+
+from helpers import unique_random_graphs as unique_graphs
+
+from repro.circuits import (
+    CircuitTask,
+    adder_task,
+    gray_to_binary_task,
+    lzd_task,
+    realistic_adder_task,
+)
+from repro.engine import EvaluationEngine
+from repro.engine.cache import ConeBaseTier, task_fingerprint
+from repro.opt.simulator import CircuitSimulator
+from repro.prefix import brent_kung, kogge_stone, sklansky
+from repro.prefix.legalize import legalize
+from repro.synth import (
+    IncrementalStats,
+    SynthesisOptions,
+    incremental_enabled,
+    plan_deltas,
+    scaled_library,
+    synthesize_population,
+)
+
+
+def mutant_population(n, total, seed=42, flips=(1, 3)):
+    """Classic parents + legalized bit-flip mutants: the GA/BO shape."""
+    bases = [sklansky(n), brent_kung(n), kogge_stone(n)]
+    rng = np.random.default_rng(seed)
+    graphs = list(bases[: min(3, total)])
+    seen = {g.key() for g in graphs}
+    while len(graphs) < total:
+        base = graphs[int(rng.integers(0, len(bases)))]
+        grid = base.grid.copy()
+        for _ in range(int(rng.integers(*flips))):
+            i = int(rng.integers(2, n))
+            j = int(rng.integers(1, i))
+            grid[i, j] ^= True
+        graph = legalize(grid)
+        if graph.key() not in seen:
+            seen.add(graph.key())
+            graphs.append(graph)
+    return graphs
+
+
+def assert_population_identical(task, graphs):
+    """Delta pipeline == reference scalar flow on every result field."""
+    scalar = [task.synthesize(graph) for graph in graphs]
+    stats = IncrementalStats()
+    population = task.evaluate_population(graphs, stats=stats)
+    assert len(scalar) == len(population)
+    for i, (a, b) in enumerate(zip(scalar, population)):
+        assert a.area_um2 == b.area_um2, (i, a.area_um2, b.area_um2)
+        assert a.delay_ns == b.delay_ns, (i, a.delay_ns, b.delay_ns)
+        assert a.num_gates == b.num_gates, i
+        assert a.num_buffers == b.num_buffers, i
+        assert a.wirelength_um == b.wirelength_um, i
+        assert a.cell_counts == b.cell_counts, i
+        assert a.critical_output == b.critical_output, i
+    # Accounting is total: every graph is one or the other.
+    assert stats.incremental_evals + stats.full_fallbacks == len(graphs)
+    return stats
+
+
+class TestBitIdentity:
+    @pytest.mark.parametrize("n", [8, 16])
+    def test_adder_mutant_population(self, n):
+        stats = assert_population_identical(
+            adder_task(n, 0.66), mutant_population(n, 10)
+        )
+        # Mutants genuinely share cones with the parents.
+        assert stats.incremental_evals > 0
+        assert stats.cone_hits > 0
+
+    def test_adder_random_population(self):
+        # Unrelated random graphs: mostly anchors, still exact.
+        assert_population_identical(adder_task(8, 0.5), unique_graphs(8, 8))
+
+    def test_gray_population(self):
+        stats = assert_population_identical(
+            gray_to_binary_task(n=8), mutant_population(8, 8)
+        )
+        assert stats.incremental_evals > 0
+
+    def test_lzd_population(self):
+        assert_population_identical(lzd_task(n=8), mutant_population(8, 8))
+
+    def test_scaled_library(self):
+        task = adder_task(8, 0.5, library=scaled_library("8nm"))
+        assert_population_identical(task, mutant_population(8, 8))
+
+    def test_datapath_io_timing(self):
+        assert_population_identical(
+            realistic_adder_task(8, 0.6), mutant_population(8, 8)
+        )
+
+    def test_andor_mapping_style(self):
+        task = adder_task(8, 0.66)
+        task = CircuitTask(
+            name=task.name,
+            n=task.n,
+            delay_weight=task.delay_weight,
+            options=SynthesisOptions(mapping_style="andor"),
+        )
+        assert_population_identical(task, mutant_population(8, 8))
+
+    @pytest.mark.parametrize("max_fanout", [2, 3])
+    def test_tight_fanout_deep_buffer_trees(self, max_fanout):
+        # Deep buffer trees route per-graph through the scalar queue
+        # loop inside the vectorized builder — still exact.
+        task = adder_task(12, 0.66)
+        task = CircuitTask(
+            name=task.name,
+            n=task.n,
+            delay_weight=task.delay_weight,
+            options=SynthesisOptions(max_fanout=max_fanout),
+        )
+        assert_population_identical(task, mutant_population(12, 6))
+
+    def test_sizing_passes_zero(self):
+        task = adder_task(8, 0.66)
+        task = CircuitTask(
+            name=task.name,
+            n=task.n,
+            delay_weight=task.delay_weight,
+            options=SynthesisOptions(sizing_passes=0),
+        )
+        assert_population_identical(task, mutant_population(8, 6))
+
+
+class TestGuardsAndOptOut:
+    def test_kill_switch(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INCREMENTAL_EVAL", "0")
+        assert not incremental_enabled()
+        task = adder_task(8, 0.66)
+        graphs = mutant_population(8, 8)
+        stats = assert_population_identical(task, graphs)
+        # Everything fell back; nothing claims to be incremental.
+        assert stats.incremental_evals == 0
+        assert stats.cone_hits == 0
+        assert stats.full_fallbacks == len(graphs)
+
+    def test_single_graph_falls_back(self):
+        task = adder_task(8, 0.66)
+        stats = IncrementalStats()
+        results = task.evaluate_population([sklansky(8)], stats=stats)
+        assert results[0].area_um2 == task.synthesize(sklansky(8)).area_um2
+        assert stats.full_fallbacks == 1
+        assert stats.incremental_evals == 0
+
+    def test_width_mismatch_raises(self):
+        task = adder_task(8, 0.66)
+        with pytest.raises(ValueError, match="width"):
+            task.evaluate_population([sklansky(8), sklansky(16)])
+
+    def test_stats_merge(self):
+        a = IncrementalStats(incremental_evals=2, cone_hits=10, full_fallbacks=1)
+        b = IncrementalStats(incremental_evals=1, cone_hits=5, full_fallbacks=3)
+        a.merge(b)
+        assert (a.incremental_evals, a.cone_hits, a.full_fallbacks) == (3, 15, 4)
+
+
+class TestPlanDeltas:
+    def test_first_graph_anchors(self):
+        graphs = mutant_population(16, 8)
+        matched, anchors, shared = plan_deltas(graphs)
+        assert 0 in anchors  # nothing to match against yet
+        assert len(matched) + len(anchors) == len(graphs)
+        assert len(shared) == len(matched)
+        assert all(s > 0 for s in shared)
+
+    def test_mutants_match_their_parent(self):
+        parent = sklansky(16)
+        grid = parent.grid.copy()
+        grid[9, 4] ^= True
+        mutant = legalize(grid)
+        matched, anchors, shared = plan_deltas([parent, mutant])
+        assert anchors == [0]
+        assert matched == [1]
+        assert shared[0] > 0
+
+    def test_hints_preempt_anchoring(self):
+        # With the parent supplied as a hint, the mutant needs no
+        # in-batch anchor at all.
+        parent = sklansky(16)
+        grid = parent.grid.copy()
+        grid[9, 4] ^= True
+        mutant = legalize(grid)
+        matched, anchors, _ = plan_deltas([mutant], base_hints=[parent])
+        assert matched == [0]
+        assert anchors == []
+
+    def test_unrelated_structures_anchor(self):
+        matched, anchors, _ = plan_deltas(
+            [sklansky(16), kogge_stone(16)], threshold=0.9
+        )
+        assert anchors == [0, 1]
+        assert matched == []
+
+    def test_threshold_one_requires_exact_cones(self):
+        parent = sklansky(16)
+        grid = parent.grid.copy()
+        grid[9, 4] ^= True
+        mutant = legalize(grid)
+        matched, anchors, _ = plan_deltas([parent, mutant], threshold=1.0)
+        assert matched == []
+
+
+class TestConeBaseTier:
+    def test_remember_and_bases_newest_first(self):
+        tier = ConeBaseTier(per_task_limit=3)
+        graphs = [sklansky(8), brent_kung(8), kogge_stone(8)]
+        tier.remember("fp", graphs[:2])
+        tier.remember("fp", graphs[2:])
+        bases = tier.bases("fp")
+        assert [g.key() for g in bases] == [
+            g.key() for g in reversed(graphs)
+        ]
+
+    def test_limit_evicts_oldest(self):
+        tier = ConeBaseTier(per_task_limit=2)
+        graphs = [sklansky(8), brent_kung(8), kogge_stone(8)]
+        tier.remember("fp", graphs)
+        bases = tier.bases("fp")
+        assert len(bases) == 2
+        assert bases[0].key() == graphs[2].key()
+        assert graphs[0].key() not in {g.key() for g in bases}
+
+    def test_dedup_refreshes_recency(self):
+        tier = ConeBaseTier(per_task_limit=2)
+        a, b = sklansky(8), brent_kung(8)
+        tier.remember("fp", [a, b])
+        tier.remember("fp", [a])  # refresh a; b is now oldest
+        tier.remember("fp", [kogge_stone(8)])
+        keys = {g.key() for g in tier.bases("fp")}
+        assert a.key() in keys
+        assert b.key() not in keys
+
+    def test_fingerprints_are_isolated(self):
+        tier = ConeBaseTier()
+        tier.remember("fp1", [sklansky(8)])
+        assert tier.bases("fp2") == []
+
+    def test_limit_validation(self):
+        with pytest.raises(ValueError):
+            ConeBaseTier(per_task_limit=0)
+
+
+class TestEngineIntegration:
+    def _mutants(self, n, total):
+        return mutant_population(n, total)
+
+    def test_population_rides_incremental_with_counters(self):
+        task = adder_task(16, 0.66)
+        graphs = self._mutants(16, 10)
+        with EvaluationEngine() as engine:
+            simulator = engine.simulator(task)
+            evaluations = simulator.query_many(graphs)
+            telemetry = simulator.telemetry.as_dict()
+        assert telemetry["incremental_evals"] > 0
+        assert telemetry["cone_hits"] > 0
+        assert (
+            telemetry["incremental_evals"] + telemetry["full_fallbacks"]
+            == len(graphs)
+        )
+        assert telemetry["stage_seconds"]["synthesis_incremental"] > 0
+        # Same costs as the plain serial simulator.
+        reference = CircuitSimulator(task).query_many(graphs)
+        for a, b in zip(evaluations, reference):
+            assert a.cost == b.cost
+            assert a.area_um2 == b.area_um2
+            assert a.delay_ns == b.delay_ns
+
+    def test_opt_out_keeps_vectorized_stage(self, monkeypatch):
+        monkeypatch.setenv("REPRO_INCREMENTAL_EVAL", "0")
+        task = adder_task(16, 0.66)
+        graphs = self._mutants(16, 8)
+        with EvaluationEngine() as engine:
+            simulator = engine.simulator(task)
+            simulator.query_many(graphs)
+            telemetry = simulator.telemetry.as_dict()
+        assert telemetry["incremental_evals"] == 0
+        assert telemetry["cone_hits"] == 0
+        assert "synthesis_incremental" not in telemetry["stage_seconds"]
+        assert telemetry["stage_seconds"]["synthesis_vectorized"] > 0
+
+    def test_cone_bases_carry_across_rounds(self):
+        # Round 1 seeds the tier; round 2's fresh mutants of the same
+        # parents find bases without anchoring a parent again.
+        task = adder_task(16, 0.66)
+        with EvaluationEngine() as engine:
+            simulator = engine.simulator(task)
+            simulator.query_many(self._mutants(16, 6))
+            fingerprint = task_fingerprint(task)
+            assert len(engine.cone_bases.bases(fingerprint)) > 0
+            round1 = simulator.telemetry.as_dict()["full_fallbacks"]
+            round2_graphs = [
+                g
+                for g in mutant_population(16, 12, seed=7)
+                if g.key() not in {x.key() for x in self._mutants(16, 6)}
+            ]
+            simulator.query_many(round2_graphs)
+            telemetry = simulator.telemetry.as_dict()
+        # Round 2 matched everything against remembered bases (no new
+        # anchors) or at worst re-anchored strictly fewer graphs.
+        assert telemetry["full_fallbacks"] - round1 < len(round2_graphs)
+
+    def test_structural_context_reaches_planner(self):
+        # Passing the parents as context lets a batch of pure mutants
+        # (parents not in the batch) ride the delta path immediately.
+        task = adder_task(16, 0.66)
+        parents = [sklansky(16), brent_kung(16), kogge_stone(16)]
+        mutants = [g for g in self._mutants(16, 9) if g not in parents][3:]
+        with EvaluationEngine() as engine:
+            simulator = engine.simulator(task)
+            # Warm the run-memo with the parents via a separate engine
+            # state: context graphs are hints only, never synthesized.
+            simulator.query_many(mutants, structural_context=parents)
+            telemetry = simulator.telemetry.as_dict()
+        assert telemetry["incremental_evals"] == len(mutants)
+        assert telemetry["full_fallbacks"] == 0
+
+    def test_serial_simulator_ignores_context(self):
+        task = adder_task(8, 0.5)
+        simulator = CircuitSimulator(task)
+        graphs = self._mutants(8, 4)
+        evaluations = simulator.query_many(
+            graphs, structural_context=[sklansky(8)]
+        )
+        assert len(evaluations) == len(graphs)

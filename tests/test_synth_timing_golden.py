@@ -1,0 +1,163 @@
+"""Golden per-node STA values pinning :func:`repro.synth.analyze_timing`.
+
+Captured from the monolithic full-graph implementation *before* the
+worklist refactor (PR 8), so the dirty-frontier STA is pinned by exact
+per-net arrivals, per-gate delays and critical paths on small graphs —
+not just by end-to-end ``PhysicalResult`` comparisons.  Every value must
+match bit-for-bit: the delay model is pure float arithmetic in a fixed
+order, so any deviation means the refactor changed the computation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.prefix import brent_kung, ripple_carry, sklansky
+from repro.synth import (
+    IOTiming,
+    analyze_timing,
+    buffer_fanout,
+    map_prefix_graph,
+    nangate45,
+    place_datapath,
+)
+
+MAKERS = {"sklansky": sklansky, "brent_kung": brent_kung, "ripple_carry": ripple_carry}
+
+#: name -> (structure, n, circuit_type, mapping style, buffered, io timing)
+CASES = {
+    "sk4_adder": ("sklansky", 4, "adder", "aoi", False, None),
+    "bk4_adder_andor": ("brent_kung", 4, "adder", "andor", False, None),
+    "sk4_gray": ("sklansky", 4, "gray", "aoi", False, None),
+    "rc4_lzd": ("ripple_carry", 4, "lzd", "aoi", False, None),
+    "sk4_adder_io": (
+        "sklansky", 4, "adder", "aoi", False,
+        ({"a[0]": 0.05, "b[2]": 0.11}, {"s[1]": 0.2, "cout": 0.07}),
+    ),
+    "sk8_adder_buf": ("sklansky", 8, "adder", "aoi", True, None),
+}
+
+GOLDEN = {
+    "sk4_adder": dict(
+        delay_ns=0.43825109649122806,
+        critical_output='s[3]',
+        critical_path=[3, 8, 9, 13, 14, 19],
+        arrival_ns=[0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.09784456521739132, 0.09782894736842106, 0.057307608695652185, 0.10953881578947366, 0.09270652173913044, 0.15137894736842106, 0.057307608695652185, 0.14762105263157896, 0.15925548245614032, 0.2488554824561403, 0.19733771929824562, 0.22951271929824563, 0.21221699084668194, 0.298572149122807, 0.340422149122807, 0.298572149122807, 0.348572149122807, 0.20736776315789474, 0.3466844298245614, 0.43825109649122806],
+        gate_delay_ns=[0.09784456521739132, 0.09782894736842106, 0.057307608695652185, 0.10953881578947366, 0.09270652173913044, 0.15137894736842106, 0.057307608695652185, 0.14762105263157896, 0.049716666666666666, 0.0896, 0.049716666666666666, 0.032175, 0.06083804347826088, 0.049716666666666666, 0.04185, 0.049716666666666666, 0.05, 0.09782894736842106, 0.09782894736842106, 0.09782894736842106],
+    ),
+    "bk4_adder_andor": dict(
+        delay_ns=0.5301202898550725,
+        critical_output='s[3]',
+        critical_path=[3, 8, 9, 13, 14, 19],
+        arrival_ns=[0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.09469239130434784, 0.09782894736842106, 0.058473913043478265, 0.10618355263157896, 0.09072065217391304, 0.1480236842105263, 0.058473913043478265, 0.14426578947368418, 0.16112703089244854, 0.2995186975591152, 0.19920926773455375, 0.26464260106788706, 0.2057095537757437, 0.3544621758199848, 0.43229134248665146, 0.3544621758199848, 0.44383717581998483, 0.2040125, 0.39734764492753627, 0.5301202898550725],
+        gate_delay_ns=[0.09469239130434784, 0.09782894736842106, 0.058473913043478265, 0.10618355263157896, 0.09072065217391304, 0.1480236842105263, 0.058473913043478265, 0.14426578947368418, 0.05494347826086957, 0.13839166666666666, 0.05494347826086957, 0.06543333333333333, 0.0576858695652174, 0.05494347826086957, 0.07782916666666667, 0.05494347826086957, 0.08937500000000001, 0.09782894736842106, 0.09782894736842106, 0.09782894736842106],
+    ),
+    "sk4_gray": dict(
+        delay_ns=0.2781973684210527,
+        critical_output='bin[1]',
+        critical_path=[0, 2],
+        arrival_ns=[0.0, 0.0, 0.0, 0.0, 0.18036842105263162, 0.0831328947368421, 0.2781973684210527, 0.2781973684210527],
+        gate_delay_ns=[0.18036842105263162, 0.0831328947368421, 0.09782894736842106, 0.09782894736842106],
+    ),
+    "rc4_lzd": dict(
+        delay_ns=0.3928513586956522,
+        critical_output='hot[3]',
+        critical_path=[0, 1, 2, 8],
+        arrival_ns=[0.0, 0.0, 0.0, 0.0, 0.11540625, 0.23081249999999998, 0.31306875, 0.029674999999999997, 0.19518885869565217, 0.14508125, 0.31059510869565216, 0.2604875, 0.3928513586956522, 0.36306875],
+        gate_delay_ns=[0.11540625, 0.11540624999999999, 0.08225625, 0.029674999999999997, 0.07978260869565218, 0.029674999999999997, 0.07978260869565218, 0.029674999999999997, 0.07978260869565218, 0.05],
+    ),
+    "sk4_adder_io": dict(
+        delay_ns=0.4919336575133486,
+        critical_output='cout',
+        critical_path=[5, 12, 15, 16],
+        arrival_ns=[0.05, 0.0, 0.0, 0.0, 0.0, 0.0, 0.11, 0.0, 0.1478445652173913, 0.14782894736842106, 0.057307608695652185, 0.10953881578947366, 0.20270652173913045, 0.26137894736842104, 0.057307608695652185, 0.14762105263157896, 0.19756123188405797, 0.28716123188405795, 0.25242318840579714, 0.28459818840579715, 0.3222169908466819, 0.33687789855072464, 0.37872789855072464, 0.3719336575133486, 0.4219336575133486, 0.24567351258581238, 0.384990179252479, 0.4765568459191457],
+        gate_delay_ns=[0.09784456521739132, 0.09782894736842106, 0.057307608695652185, 0.10953881578947366, 0.09270652173913044, 0.15137894736842106, 0.057307608695652185, 0.14762105263157896, 0.049716666666666666, 0.0896, 0.049716666666666666, 0.032175, 0.06083804347826088, 0.049716666666666666, 0.04185, 0.049716666666666666, 0.05, 0.09782894736842106, 0.09782894736842106, 0.09782894736842106],
+    ),
+    "sk8_adder_buf": dict(
+        delay_ns=0.6304737155388471,
+        critical_output='s[5]',
+        critical_path=[3, 16, 17, 29, 30, 52, 37, 38, 49],
+        arrival_ns=[0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.09784456521739132, 0.09782894736842106, 0.057307608695652185, 0.10953881578947366, 0.09270652173913044, 0.15137894736842106, 0.057307608695652185, 0.14762105263157896, 0.10329782608695653, 0.17392631578947368, 0.057307608695652185, 0.1588947368421053, 0.09270652173913044, 0.19697697368421055, 0.057307608695652185, 0.1588947368421053, 0.15925548245614032, 0.2488554824561403, 0.19733771929824562, 0.22951271929824563, 0.21221699084668194, 0.20861140350877197, 0.296936403508772, 0.29925783752860413, 0.20861140350877197, 0.24078640350877198, 0.27947045194508013, 0.298572149122807, 0.340422149122807, 0.298572149122807, 0.365847149122807, 0.34665307017543867, 0.38162807017543865, 0.3671567505720824, 0.34665307017543867, 0.38162807017543865, 0.3671567505720824, 0.49079476817042605, 0.532644768170426, 0.49079476817042605, 0.532644768170426, 0.49079476817042605, 0.532644768170426, 0.49079476817042605, 0.540794768170426, 0.20736776315789474, 0.3466844298245614, 0.43825109649122806, 0.5177546679197995, 0.6304737155388471, 0.6304737155388471, 0.6304737155388471, 0.44107810150375937, 0.41992572055137845],
+        gate_delay_ns=[0.09784456521739132, 0.09782894736842106, 0.057307608695652185, 0.10953881578947366, 0.09270652173913044, 0.15137894736842106, 0.057307608695652185, 0.14762105263157896, 0.10329782608695653, 0.17392631578947368, 0.057307608695652185, 0.1588947368421053, 0.09270652173913044, 0.19697697368421055, 0.057307608695652185, 0.1588947368421053, 0.049716666666666666, 0.0896, 0.049716666666666666, 0.032175, 0.06083804347826088, 0.049716666666666666, 0.088325, 0.12533152173913042, 0.049716666666666666, 0.032175, 0.08249347826086957, 0.049716666666666666, 0.04185, 0.049716666666666666, 0.06727500000000002, 0.049716666666666666, 0.034975, 0.06789891304347827, 0.049716666666666666, 0.034975, 0.06789891304347827, 0.049716666666666666, 0.04185, 0.049716666666666666, 0.04185, 0.049716666666666666, 0.04185, 0.049716666666666666, 0.05, 0.09782894736842106, 0.09782894736842106, 0.09782894736842106, 0.09782894736842106, 0.09782894736842106, 0.09782894736842106, 0.09782894736842106, 0.07523095238095237, 0.05407857142857142],
+    ),
+}
+
+
+def _build(name):
+    maker, n, circuit_type, style, buffered, io = CASES[name]
+    netlist = map_prefix_graph(MAKERS[maker](n), nangate45(), circuit_type, style=style)
+    place_datapath(netlist)
+    if buffered:
+        buffer_fanout(netlist, 4)
+        place_datapath(netlist)
+    io_timing = IOTiming(input_arrival=io[0], output_margin=io[1]) if io else None
+    return netlist, io_timing
+
+
+@pytest.mark.parametrize("name", sorted(CASES))
+def test_golden_timing(name):
+    netlist, io_timing = _build(name)
+    golden = GOLDEN[name]
+    report = analyze_timing(netlist, io_timing)
+    assert report.delay_ns == golden["delay_ns"]
+    assert report.critical_output == golden["critical_output"]
+    assert report.critical_path == golden["critical_path"]
+    assert np.array_equal(report.arrival_ns, np.array(golden["arrival_ns"]))
+    assert np.array_equal(report.gate_delay_ns, np.array(golden["gate_delay_ns"]))
+
+
+@pytest.mark.parametrize("name", ["sk4_adder", "sk4_adder_io"])
+def test_golden_slack(name):
+    # slack(net) is defined against the critical delay (required time at
+    # every endpoint == delay_ns in this single-corner model).
+    netlist, io_timing = _build(name)
+    golden = GOLDEN[name]
+    report = analyze_timing(netlist, io_timing)
+    for net, arrival in enumerate(golden["arrival_ns"]):
+        assert report.slack_ns(net) == golden["delay_ns"] - arrival
+
+
+class TestWorklistRetime:
+    """Cone-limited retiming must equal full re-analysis bit for bit."""
+
+    @pytest.mark.parametrize("name", sorted(CASES))
+    def test_retime_after_swap_matches_full(self, name):
+        from repro.synth import (
+            dirty_after_swaps,
+            extract_report,
+            retime,
+            timing_state,
+        )
+
+        netlist, io_timing = _build(name)
+        order = netlist.topological_order()
+        state = retime(netlist, timing_state(netlist, io_timing), order=order)
+        # Upsize a few gates spread over the netlist, one at a time.
+        for gate_index in range(0, len(netlist.gates), max(1, len(netlist.gates) // 5)):
+            bigger = netlist.library.resize(netlist.gates[gate_index].cell, +1)
+            if bigger is None:
+                continue
+            netlist.swap_cell(gate_index, bigger)
+            state = retime(
+                netlist,
+                state,
+                dirty_gates=dirty_after_swaps(netlist, [gate_index]),
+                order=order,
+            )
+            full = analyze_timing(netlist, io_timing)
+            incremental = extract_report(netlist, state, io_timing)
+            assert np.array_equal(incremental.arrival_ns, full.arrival_ns)
+            assert np.array_equal(incremental.gate_delay_ns, full.gate_delay_ns)
+            assert incremental.delay_ns == full.delay_ns
+            assert incremental.critical_output == full.critical_output
+            assert incremental.critical_path == full.critical_path
+
+    def test_empty_frontier_is_noop(self):
+        from repro.synth import extract_report, retime, timing_state
+
+        netlist, io_timing = _build("sk4_adder")
+        state = retime(netlist, timing_state(netlist, io_timing))
+        before = state.copy()
+        retime(netlist, state, dirty_gates=[])
+        assert np.array_equal(state.arrival_ns, before.arrival_ns)
+        full = analyze_timing(netlist, io_timing)
+        assert extract_report(netlist, state, io_timing).delay_ns == full.delay_ns
