@@ -1,0 +1,108 @@
+"""The ``python -m repro check`` verb (dispatched from repro.api.cli).
+
+Exit status: 0 when clean modulo the committed baseline; 1 when any
+non-baselined *error* (or, with ``--strict``, any non-baselined finding
+at all, any stale baseline entry, or any suppressed-but-unjustifiable
+state) remains; 2 for usage problems (unreadable baseline, bad root).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import List, Optional
+
+from .engine import run_check
+from .findings import BASELINE_NAME, Baseline, render_json, render_text
+from .knobs import render_env_table
+
+__all__ = ["add_check_parser", "run_check_command"]
+
+
+def add_check_parser(sub) -> None:
+    """Register the ``check`` subcommand on an argparse subparsers object."""
+    check_p = sub.add_parser(
+        "check",
+        help="run the project static analyzer (lint rules + IR verifier "
+        "registries)",
+    )
+    check_p.add_argument(
+        "paths",
+        nargs="*",
+        help="files/directories to scan (default: src/repro, scripts, "
+        "benchmarks — whole-tree rules like README drift only run "
+        "with the default set)",
+    )
+    check_p.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero on warnings and stale baseline entries too",
+    )
+    check_p.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (json is the CI artifact shape)",
+    )
+    check_p.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help=f"baseline file (default: {BASELINE_NAME} at the repo root; "
+        "'none' disables baselining)",
+    )
+    check_p.add_argument(
+        "--root",
+        default=None,
+        metavar="DIR",
+        help="repo root to scan (default: the current directory)",
+    )
+    check_p.add_argument(
+        "--render-env-table",
+        action="store_true",
+        help="print the canonical README env-knob table and exit",
+    )
+
+
+def run_check_command(args: argparse.Namespace) -> int:
+    if args.render_env_table:
+        print(render_env_table())
+        return 0
+
+    root = os.path.abspath(args.root or os.getcwd())
+    if not os.path.isdir(os.path.join(root, "src", "repro")):
+        print(
+            f"error: {root} does not look like the repo root "
+            "(no src/repro); use --root",
+            file=sys.stderr,
+        )
+        return 2
+
+    paths: Optional[List[str]] = list(args.paths) or None
+    findings = run_check(root, paths=paths)
+
+    baseline = Baseline()
+    if args.baseline != "none":
+        baseline_path = args.baseline or os.path.join(root, BASELINE_NAME)
+        if os.path.exists(baseline_path):
+            try:
+                baseline = Baseline.load(baseline_path)
+            except (OSError, ValueError, KeyError) as error:
+                print(f"error: bad baseline {baseline_path}: {error}", file=sys.stderr)
+                return 2
+        elif args.baseline is not None:
+            print(f"error: baseline {baseline_path} not found", file=sys.stderr)
+            return 2
+    active, suppressed, stale = baseline.split(findings)
+    # stale entries only mean something against the full default scan
+    if paths is not None:
+        stale = []
+
+    render = render_json if args.format == "json" else render_text
+    print(render(active, suppressed, stale))
+
+    errors = [f for f in active if f.severity == "error"]
+    if errors or (args.strict and (active or stale)):
+        return 1
+    return 0

@@ -1,0 +1,222 @@
+"""The lint engine: rule registry, file scanning, one-pass AST parsing.
+
+Rules are data (:class:`RuleDef`: id, severity, fixer hint, docstring)
+registered with :func:`register_rule`; running them is a fold over a
+:class:`CheckContext` holding every scanned file parsed exactly once.
+The default path set deliberately includes ``scripts/`` and
+``benchmarks/`` — code outside ``src/`` carries the same invariants
+(env knobs, telemetry names) and historically escaped all discipline.
+
+The engine itself knows nothing about the project; everything
+repo-specific lives in :mod:`repro.check.rules`.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterator, List, Optional, Sequence
+
+from .findings import Finding
+
+__all__ = [
+    "CheckContext",
+    "DEFAULT_PATHS",
+    "RuleDef",
+    "RULES",
+    "SourceFile",
+    "register_rule",
+    "run_check",
+]
+
+#: directories scanned when no explicit paths are given, relative to the
+#: repo root.  ``scripts``/``benchmarks`` ride along on purpose.
+DEFAULT_PATHS = ("src/repro", "scripts", "benchmarks")
+
+
+@dataclass
+class SourceFile:
+    """One scanned file: text + AST, parsed once and shared by rules."""
+
+    path: str  # absolute
+    rel: str  # repo-root-relative, posix separators
+    text: str
+    tree: Optional[ast.AST]
+    parse_error: Optional[str] = None
+
+    _constants: Optional[Dict[str, str]] = None
+
+    def module_constants(self) -> Dict[str, str]:
+        """Module-level ``NAME = "literal"`` string assignments.
+
+        Env reads routinely go through named constants
+        (``_ENV_WORKERS = "REPRO_ENGINE_WORKERS"``); rules resolve those
+        through this map instead of demanding inline literals.
+        """
+        if self._constants is None:
+            consts: Dict[str, str] = {}
+            if self.tree is not None:
+                for node in self.tree.body:  # type: ignore[attr-defined]
+                    if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                        target = node.targets[0]
+                        if (
+                            isinstance(target, ast.Name)
+                            and isinstance(node.value, ast.Constant)
+                            and isinstance(node.value.value, str)
+                        ):
+                            consts[target.id] = node.value.value
+            self._constants = consts
+        return self._constants
+
+
+@dataclass
+class CheckContext:
+    """Everything a rule may look at."""
+
+    root: str
+    files: List[SourceFile]
+    #: True when scanning the whole default path set — whole-tree rules
+    #: (stale registry entries, README drift) only fire then, so running
+    #: the checker on a fixture subtree never produces spurious findings.
+    full_tree: bool = True
+
+    def find(self, rel: str) -> Optional[SourceFile]:
+        for source in self.files:
+            if source.rel == rel:
+                return source
+        return None
+
+    def read_root_file(self, name: str) -> Optional[str]:
+        path = os.path.join(self.root, name)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                return handle.read()
+        except OSError:
+            return None
+
+
+@dataclass(frozen=True)
+class RuleDef:
+    """One analyzer, as data: identity + severity + how to fix it."""
+
+    id: str
+    severity: str
+    hint: str
+    description: str
+    func: Callable[[CheckContext], Iterator[Finding]]
+
+
+#: rule id -> definition, in registration order.
+RULES: Dict[str, RuleDef] = {}
+
+
+def register_rule(rule_id: str, severity: str, hint: str):
+    """Class the decorated generator as the analyzer for ``rule_id``.
+
+    The generator receives a :class:`CheckContext` and yields
+    :class:`Finding` objects; ``rule``/``severity``/``hint`` fields are
+    stamped by the engine so rules only fill in location and message.
+    """
+
+    def decorate(func: Callable[[CheckContext], Iterator[Finding]]):
+        if rule_id in RULES:
+            raise ValueError(f"duplicate rule id {rule_id!r}")
+        RULES[rule_id] = RuleDef(
+            id=rule_id,
+            severity=severity,
+            hint=hint,
+            description=(func.__doc__ or "").strip().splitlines()[0]
+            if func.__doc__
+            else "",
+            func=func,
+        )
+        return func
+
+    return decorate
+
+
+def _iter_python_files(base: str) -> Iterator[str]:
+    if os.path.isfile(base):
+        if base.endswith(".py"):
+            yield base
+        return
+    for dirpath, dirnames, filenames in os.walk(base):
+        dirnames[:] = sorted(
+            d for d in dirnames if d != "__pycache__" and not d.startswith(".")
+        )
+        for name in sorted(filenames):
+            if name.endswith(".py"):
+                yield os.path.join(dirpath, name)
+
+
+def load_context(
+    root: str, paths: Optional[Sequence[str]] = None
+) -> CheckContext:
+    """Scan + parse the requested tree into a :class:`CheckContext`."""
+    root = os.path.abspath(root)
+    full_tree = paths is None
+    bases = [
+        os.path.join(root, p) if not os.path.isabs(p) else p
+        for p in (DEFAULT_PATHS if paths is None else paths)
+    ]
+    files: List[SourceFile] = []
+    for base in bases:
+        if not os.path.exists(base):
+            continue
+        for path in _iter_python_files(base):
+            with open(path, "r", encoding="utf-8") as handle:
+                text = handle.read()
+            rel = os.path.relpath(path, root).replace(os.sep, "/")
+            try:
+                tree: Optional[ast.AST] = ast.parse(text, filename=rel)
+                error = None
+            except SyntaxError as exc:
+                tree, error = None, f"{exc.msg} (line {exc.lineno})"
+            files.append(SourceFile(path, rel, text, tree, error))
+    return CheckContext(root=root, files=files, full_tree=full_tree)
+
+
+def run_check(
+    root: str,
+    paths: Optional[Sequence[str]] = None,
+    rule_ids: Optional[Sequence[str]] = None,
+) -> List[Finding]:
+    """Run (selected) rules over the tree; returns findings in file order."""
+    # rules live in a sibling module; importing registers them.
+    from . import rules as _rules  # noqa: F401
+
+    context = load_context(root, paths)
+    findings: List[Finding] = []
+    for source in context.files:
+        if source.parse_error is not None:
+            findings.append(
+                Finding(
+                    rule="check-parse-error",
+                    severity="error",
+                    path=source.rel,
+                    line=1,
+                    message=f"cannot parse: {source.parse_error}",
+                    symbol=source.rel,
+                )
+            )
+    selected = (
+        list(RULES.values())
+        if rule_ids is None
+        else [RULES[rid] for rid in rule_ids]
+    )
+    for rule in selected:
+        for found in rule.func(context):
+            findings.append(
+                Finding(
+                    rule=rule.id,
+                    severity=found.severity or rule.severity,
+                    path=found.path,
+                    line=found.line,
+                    message=found.message,
+                    hint=found.hint or rule.hint,
+                    symbol=found.symbol,
+                )
+            )
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return findings

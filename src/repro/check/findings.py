@@ -1,0 +1,161 @@
+"""The findings model shared by every analyzer level.
+
+Both the :mod:`ast`-based lint rules (:mod:`repro.check.rules`) and the
+GraphProgram IR verifier (:mod:`repro.check.ir`) report through one
+:class:`Finding` shape — rule id, severity, ``file:line`` anchor,
+message, fixer hint — so the CLI, the CI artifact and the tier-1 gate
+consume a single stream regardless of which level produced it.
+
+Baselines
+---------
+A committed baseline (:data:`BASELINE_NAME` at the repo root) lists
+findings that are *deliberately kept*, each with a one-line
+justification.  Baseline keys are ``rule:path:symbol`` — anchored to a
+rule-chosen stable symbol rather than a line number, so unrelated edits
+moving code around never invalidate an entry.  Stale entries (keys that
+no longer match any finding) are themselves reported, keeping the
+baseline from rotting into a suppression dump.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "BASELINE_NAME",
+    "Baseline",
+    "Finding",
+    "render_json",
+    "render_text",
+]
+
+#: repo-root file name of the committed baseline.
+BASELINE_NAME = "CHECK_BASELINE.json"
+
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation, anchored to ``path:line``.
+
+    ``symbol`` is the stable anchor baselines key on (a knob name, a
+    constant, a node id) — never a line number, so baselines survive
+    reformatting.  When a rule has no natural symbol it leaves it empty
+    and the message itself becomes the anchor.
+    """
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    message: str
+    hint: str = ""
+    symbol: str = ""
+
+    def key(self) -> str:
+        """Line-independent identity used for baseline matching."""
+        anchor = self.symbol or self.message
+        return f"{self.rule}:{self.path}:{anchor}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "hint": self.hint,
+            "symbol": self.symbol,
+            "key": self.key(),
+        }
+
+
+@dataclass
+class Baseline:
+    """The committed set of deliberately-kept findings."""
+
+    entries: Dict[str, str] = field(default_factory=dict)  # key -> justification
+    path: Optional[str] = None
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        entries: Dict[str, str] = {}
+        for entry in payload.get("entries", ()):
+            key = entry["key"]
+            justification = entry.get("justification", "").strip()
+            if not justification:
+                raise ValueError(
+                    f"baseline entry {key!r} has no justification; every "
+                    "deliberately-kept finding must say why"
+                )
+            entries[key] = justification
+        return cls(entries=entries, path=path)
+
+    def split(
+        self, findings: Sequence[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[str]]:
+        """Partition into (active, suppressed, stale-baseline-keys)."""
+        active: List[Finding] = []
+        suppressed: List[Finding] = []
+        matched = set()
+        for finding in findings:
+            key = finding.key()
+            if key in self.entries:
+                suppressed.append(finding)
+                matched.add(key)
+            else:
+                active.append(finding)
+        stale = sorted(set(self.entries) - matched)
+        return active, suppressed, stale
+
+
+def render_text(
+    findings: Sequence[Finding],
+    suppressed: Sequence[Finding] = (),
+    stale: Sequence[str] = (),
+) -> str:
+    """Human-readable report, one ``path:line`` anchored line per finding."""
+    lines: List[str] = []
+    for finding in findings:
+        lines.append(
+            f"{finding.path}:{finding.line}: "
+            f"{finding.severity} [{finding.rule}] {finding.message}"
+        )
+        if finding.hint:
+            lines.append(f"    hint: {finding.hint}")
+    for key in stale:
+        lines.append(
+            f"{BASELINE_NAME}: error [check-stale-baseline] entry {key!r} "
+            "matches no current finding; delete it"
+        )
+    errors = sum(1 for f in findings if f.severity == "error")
+    warnings = len(findings) - errors
+    summary = (
+        f"{errors} error(s), {warnings} warning(s)"
+        + (f", {len(suppressed)} baselined" if suppressed else "")
+        + (f", {len(stale)} stale baseline entr(ies)" if stale else "")
+    )
+    lines.append(summary if lines else f"clean: {summary}")
+    return "\n".join(lines)
+
+
+def render_json(
+    findings: Sequence[Finding],
+    suppressed: Sequence[Finding] = (),
+    stale: Sequence[str] = (),
+) -> str:
+    """Machine-readable report (the CI artifact's shape)."""
+    payload = {
+        "version": 1,
+        "findings": [f.to_dict() for f in findings],
+        "suppressed": [f.to_dict() for f in suppressed],
+        "stale_baseline_keys": list(stale),
+        "errors": sum(1 for f in findings if f.severity == "error"),
+        "warnings": sum(1 for f in findings if f.severity == "warning"),
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

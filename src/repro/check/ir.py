@@ -1,0 +1,276 @@
+"""Level 2: the GraphProgram IR verifier.
+
+:func:`verify_program` takes a compiled
+:class:`~repro.nn.compile.GraphProgram` (or its retained
+:class:`~repro.nn.compile.ProgramPlan`) and statically proves the four
+properties the buffer-arena compiler relies on:
+
+``ir-use-before-def``
+    Every operand of a scheduled op is an input/param/constant leaf or
+    an op scheduled strictly earlier; outputs and the loss are defined.
+``ir-bad-schedule``
+    The backward schedule is a topological order of the reversed
+    gradient graph — every consumer contributing to a node's gradient
+    is processed before the node itself, starting from the loss.
+``ir-overwrite-live``
+    No write lands in a buffer whose previous occupant is still live:
+    each materialized root's storage token may only be reassigned after
+    the previous occupant's last read (backward-needed, pinned and
+    output values count as read at +infinity).  The one sanctioned
+    exception is a declared fused link, where the consumer overwrites
+    its producer's scratch *in the same instruction* that reads it.
+``ir-illegal-fusion``
+    Every declared fused link is legal: sole consumer, same shape,
+    elementwise with an ``out=``-writing kernel, producer not a view,
+    not pinned, not backward-needed, not an output.
+
+Verification is pure data analysis over the plan — it never executes
+the program, so wiring it under ``REPRO_IR_VERIFY=1`` adds compile-time
+cost only and exactly zero replay overhead.
+
+The verifier deliberately re-derives liveness from the schedule and
+alias roots rather than trusting the compiler's ``last_use`` table:
+the point is to catch the compiler lying to itself.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from .findings import Finding
+
+__all__ = ["IR_RULES", "verify_program"]
+
+#: rule ids this verifier can emit (documented for the CLI/tests).
+IR_RULES = (
+    "ir-use-before-def",
+    "ir-bad-schedule",
+    "ir-overwrite-live",
+    "ir-illegal-fusion",
+)
+
+#: pseudo-path findings are anchored to (the IR has no source file).
+_PATH = "<GraphProgram>"
+
+#: sentinel read position for values that must survive the whole replay.
+_FOREVER = 1 << 60
+
+
+def _finding(rule: str, message: str, symbol: str) -> Finding:
+    return Finding(
+        rule=rule,
+        severity="error",
+        path=_PATH,
+        line=0,
+        message=message,
+        symbol=symbol,
+    )
+
+
+def verify_program(program) -> List[Finding]:
+    """Statically check one compiled program; returns findings (empty = sound)."""
+    plan = getattr(program, "plan", program)
+    findings: List[Finding] = []
+    sched = plan.sched
+    pos: Dict[int, int] = {}
+
+    # -- schedule well-formedness + def-before-use ---------------------
+    for index, nid in enumerate(sched):
+        if nid in pos:
+            findings.append(
+                _finding(
+                    "ir-use-before-def",
+                    f"node {nid} ({plan.ops.get(nid)}) scheduled twice",
+                    f"node:{nid}",
+                )
+            )
+            continue
+        pos[nid] = index
+        if plan.kinds.get(nid) != "op":
+            findings.append(
+                _finding(
+                    "ir-use-before-def",
+                    f"scheduled node {nid} is not an op "
+                    f"(kind={plan.kinds.get(nid)!r})",
+                    f"node:{nid}",
+                )
+            )
+            continue
+        for parent in plan.parents.get(nid, ()):
+            kind = plan.kinds.get(parent)
+            if kind == "op":
+                if parent not in pos or pos[parent] >= index:
+                    findings.append(
+                        _finding(
+                            "ir-use-before-def",
+                            f"node {nid} ({plan.ops.get(nid)}) reads op "
+                            f"{parent} ({plan.ops.get(parent)}) which is "
+                            "not defined before it in the schedule",
+                            f"node:{nid}",
+                        )
+                    )
+            elif kind is None:
+                findings.append(
+                    _finding(
+                        "ir-use-before-def",
+                        f"node {nid} reads unknown node {parent}",
+                        f"node:{nid}",
+                    )
+                )
+    for name, nid in plan.outputs.items():
+        if plan.kinds.get(nid) == "op" and nid not in pos:
+            findings.append(
+                _finding(
+                    "ir-use-before-def",
+                    f"output {name!r} (node {nid}) is never scheduled",
+                    f"output:{name}",
+                )
+            )
+
+    # -- backward schedule topological soundness -----------------------
+    grad_pos = {nid: i for i, nid in enumerate(plan.grad_sched)}
+    if plan.grad_sched and plan.grad_sched[0] != plan.loss_id:
+        findings.append(
+            _finding(
+                "ir-bad-schedule",
+                f"backward schedule starts at node {plan.grad_sched[0]} "
+                f"instead of the loss (node {plan.loss_id})",
+                "grad-start",
+            )
+        )
+    for nid, index in grad_pos.items():
+        if not plan.requires_grad.get(nid, False):
+            findings.append(
+                _finding(
+                    "ir-bad-schedule",
+                    f"backward schedule contains node {nid} "
+                    f"({plan.ops.get(nid)}) which does not require grad",
+                    f"grad-node:{nid}",
+                )
+            )
+        for parent in plan.parents.get(nid, ()):
+            if parent in grad_pos and grad_pos[parent] <= index:
+                findings.append(
+                    _finding(
+                        "ir-bad-schedule",
+                        f"gradient of node {parent} "
+                        f"({plan.ops.get(parent)}) is processed before "
+                        f"its consumer {nid} ({plan.ops.get(nid)}) has "
+                        "contributed",
+                        f"grad-node:{parent}",
+                    )
+                )
+
+    # -- liveness: last read position per alias root -------------------
+    last_read: Dict[int, int] = {}
+    reader_at: Dict[int, Dict[int, int]] = {}  # root -> {pos: reader nid}
+    for nid in sched:
+        if nid not in pos:
+            continue
+        for parent in plan.parents.get(nid, ()):
+            root = plan.root.get(parent, parent)
+            last_read[root] = max(last_read.get(root, -1), pos[nid])
+            reader_at.setdefault(root, {})[pos[nid]] = nid
+    for nid in plan.needed_val | set(plan.outputs.values()) | {plan.loss_id}:
+        root = plan.root.get(nid, nid)
+        last_read[root] = _FOREVER
+    for root in plan.pinned_roots:
+        last_read[root] = _FOREVER
+
+    # -- storage: no write to a slot whose value is still live ---------
+    fused = set(plan.fused_links)
+    writes_by_token: Dict[int, List[int]] = {}
+    for nid in sched:
+        if plan.root.get(nid) != nid:
+            continue  # views write through their base's storage
+        token = plan.buffer_token.get(nid)
+        if token is None:
+            continue  # unmaterialized (e.g. plan corruption; flagged below)
+        writes_by_token.setdefault(token, []).append(nid)
+    for token, writers in writes_by_token.items():
+        writers.sort(key=lambda nid: pos.get(nid, -1))
+        for previous, current in zip(writers, writers[1:]):
+            write_pos = pos.get(current, -1)
+            live_until = max(last_read.get(previous, -1), pos.get(previous, -1))
+            if live_until < write_pos:
+                continue  # previous occupant dead before this write
+            if (
+                (previous, current) in fused
+                and last_read.get(previous, -1) == write_pos
+                and reader_at.get(previous, {}).get(write_pos) == current
+            ):
+                continue  # sanctioned in-place overwrite by the fused consumer
+            still = (
+                "pinned/backward-needed"
+                if last_read.get(previous, -1) >= _FOREVER
+                else f"still read at schedule position {live_until}"
+            )
+            findings.append(
+                _finding(
+                    "ir-overwrite-live",
+                    f"node {current} ({plan.ops.get(current)}) at position "
+                    f"{write_pos} overwrites the buffer of node {previous} "
+                    f"({plan.ops.get(previous)}), whose value is {still}",
+                    f"node:{current}",
+                )
+            )
+
+    # every scheduled non-view op must have materialized storage
+    for nid in sched:
+        if nid not in pos or plan.kinds.get(nid) != "op":
+            continue
+        root = plan.root.get(nid, nid)
+        if plan.buffer_token.get(root) is None and plan.kinds.get(root) == "op":
+            findings.append(
+                _finding(
+                    "ir-use-before-def",
+                    f"node {nid} ({plan.ops.get(nid)}) has no backing "
+                    f"buffer (root {root})",
+                    f"node:{nid}",
+                )
+            )
+
+    # -- fused-chain legality ------------------------------------------
+    consumer_count: Dict[int, int] = {}
+    for nid in sched:
+        for parent in plan.parents.get(nid, ()):
+            consumer_count[parent] = consumer_count.get(parent, 0) + 1
+    for producer, consumer in plan.fused_links:
+        symbol = f"fuse:{producer}->{consumer}"
+
+        def illegal(reason: str) -> None:
+            findings.append(
+                _finding(
+                    "ir-illegal-fusion",
+                    f"fused link {producer} ({plan.ops.get(producer)}) -> "
+                    f"{consumer} ({plan.ops.get(consumer)}) is illegal: "
+                    f"{reason}",
+                    symbol,
+                )
+            )
+
+        if producer not in plan.parents.get(consumer, ()):
+            illegal("consumer does not read the producer")
+            continue
+        if consumer_count.get(producer, 0) != 1:
+            illegal(
+                f"producer has {consumer_count.get(producer, 0)} consumers "
+                "(in-place overwrite requires exactly one)"
+            )
+        if plan.shapes.get(producer) != plan.shapes.get(consumer):
+            illegal(
+                f"shape mismatch {plan.shapes.get(producer)} vs "
+                f"{plan.shapes.get(consumer)}"
+            )
+        if not plan.elementwise.get(consumer, False):
+            illegal("consumer is not elementwise")
+        if not plan.has_kernel.get(consumer, False):
+            illegal("consumer has no out=-writing kernel")
+        if plan.view.get(producer, False):
+            illegal("producer is a view")
+        root = plan.root.get(producer, producer)
+        if root in plan.pinned_roots or producer in plan.needed_val:
+            illegal("producer's value is needed by the backward pass")
+        if producer in plan.outputs.values():
+            illegal("producer is a program output")
+    return findings

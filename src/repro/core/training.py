@@ -105,6 +105,19 @@ class TrainStats:
         return len(self.total) - self.epochs_skipped
 
 
+#: The compiled-train fast path's contract, machine-checked by
+#: ``python -m repro check``: :func:`_use_compiled_train` reads the kill
+#: switch below, the eager reference is ``model.training_losses`` (the
+#: define-by-run tape every fallback — and the compiler's own verify
+#: pass — runs), and ``benchmarks/bench_vae_training.py`` gates the
+#: speedup while asserting loss-curve equivalence against that tape.
+FAST_PATH_CONTRACT = {
+    "kill_switch": "REPRO_COMPILED_TRAIN",
+    "reference": "training_losses",
+    "bench": "bench_vae_training.py",
+}
+
+
 def _use_compiled_train() -> bool:
     return os.environ.get("REPRO_COMPILED_TRAIN", "1") != "0"
 

@@ -45,6 +45,18 @@ __all__ = ["SynthesisPool", "default_worker_count", "vectorized_enabled"]
 _ENV_WORKERS = "REPRO_ENGINE_WORKERS"
 _ENV_VECTORIZED = "REPRO_VECTORIZED_EVAL"
 
+#: The vectorized population fast path's contract, machine-checked by
+#: ``python -m repro check``: :func:`vectorized_enabled` reads the kill
+#: switch here, the scalar reference is :func:`_synth_job` (one
+#: synthesis per graph — the loop ``synthesize_batch`` degrades to),
+#: and ``benchmarks/bench_batched_eval.py`` gates the speedup while
+#: asserting bit-identity against that scalar loop.
+FAST_PATH_CONTRACT = {
+    "kill_switch": "REPRO_VECTORIZED_EVAL",
+    "reference": "_synth_job",
+    "bench": "bench_batched_eval.py",
+}
+
 Metrics = Tuple[float, float]
 
 
@@ -86,6 +98,8 @@ def _synth_many_job(task: CircuitTask, graphs: Sequence[PrefixGraph]) -> List[Me
 # Span ids are prefixed per (worker pid, job) so they never collide with
 # the parent's or another worker's inside one trace file.
 
+# thread-safe: itertools.count.__next__ is atomic under the GIL, and
+# each worker process owns its own copy (the prefix also embeds the pid).
 _WORKER_JOB_SEQ = itertools.count(1)
 
 

@@ -35,7 +35,15 @@ from typing import Dict, Iterator, Optional
 from ..obs import trace
 from ..obs.metrics import MetricsRegistry
 
-__all__ = ["EngineTelemetry", "stage", "stage_all", "snapshot_delta"]
+__all__ = [
+    "EngineTelemetry",
+    "KNOWN_HISTOGRAMS",
+    "KNOWN_SPANS",
+    "KNOWN_STAGES",
+    "stage",
+    "stage_all",
+    "snapshot_delta",
+]
 
 #: ratio fields of :meth:`EngineTelemetry.as_dict` — meaningless to
 #: difference, so :func:`snapshot_delta` drops them.
@@ -43,7 +51,54 @@ _DERIVED_KEYS = ("hit_rate", "synth_throughput")
 
 #: shared attrs dict for stage spans (Span copies it; never mutated) —
 #: a module constant so the tracing-off path allocates nothing.
+#: thread-safe: written once at import time, read-only afterwards.
 _STAGE_ATTRS = {"stage": True}
+
+#: The canonical stage vocabulary.  :func:`stage`/:func:`stage_all`/
+#: ``EngineTelemetry.time`` names must come from this set (plus the
+#: dynamic ``train_kernel:<op>`` family from REPRO_PROFILE=1) — a typo'd
+#: stage would silently create a fresh ``stage_seconds`` series, so the
+#: static checker (``python -m repro check``) resolves every literal
+#: stage name against this frozenset.
+KNOWN_STAGES = frozenset(
+    {
+        "synthesis",
+        "synthesis_vectorized",
+        "synthesis_scalar",
+        "synthesis_incremental",
+        "train",
+        "acquisition",
+        "variation",
+        "proposal",
+        "decode",
+        "latent_search",
+    }
+)
+
+#: The canonical trace-span vocabulary (stage spans reuse KNOWN_STAGES).
+#: Same discipline as KNOWN_STAGES: report tooling groups by these names,
+#: so new span call sites register here and the checker enforces it.
+KNOWN_SPANS = frozenset(
+    {
+        "experiment",
+        "seed",
+        "engine_evaluate",
+        "evaluate",
+        "evaluate_batch",
+        "gather",
+        "synthesize",
+        "synthesize_chunk",
+        "cache_load",
+        "cache_refresh",
+        "serve_job",
+        "serve_evaluate",
+        "bench",
+    }
+)
+
+#: Named latency histograms fed through ``observe_latency`` (per-stage
+#: ``stage_latency:<stage>`` histograms are derived, not listed).
+KNOWN_HISTOGRAMS = frozenset({"cache_lookup", "train_step_replay"})
 
 
 def snapshot_delta(before: Dict, after: Dict) -> Dict:

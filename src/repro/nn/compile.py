@@ -59,10 +59,24 @@ __all__ = [
     "CompileUnsupported",
     "CompileStats",
     "GraphProgram",
+    "ProgramPlan",
     "CompiledTrainStep",
     "compile_train_step",
+    "ir_verify_enabled",
     "profile_enabled",
 ]
+
+
+def ir_verify_enabled() -> bool:
+    """``REPRO_IR_VERIFY=1``: run the IR verifier on every compile.
+
+    Like :func:`profile_enabled`, this is consulted at *compile* time
+    only — steady-state replay never pays for verification.  Findings
+    reject the program (``CompileUnsupported``), so training falls back
+    to the always-correct eager tape instead of replaying a program the
+    verifier could not prove safe.
+    """
+    return os.environ.get("REPRO_IR_VERIFY", "0").strip() not in ("", "0")
 
 
 def profile_enabled() -> bool:
@@ -112,6 +126,62 @@ class CompileStats:
 
     def as_dict(self) -> Dict[str, int]:
         return {k: getattr(self, k) for k in self.__dataclass_fields__}
+
+
+@dataclass
+class ProgramPlan:
+    """The structured scheduling/storage decisions of one program.
+
+    :class:`GraphProgram` retains this alongside the closed-over replay
+    instructions so the IR verifier (:mod:`repro.check.ir`) can prove
+    the plan sound — def-before-use, no live-slot overwrite, backward
+    topological order, fused-chain legality — without re-deriving it
+    from the closures.  Everything here is plain data (ints, tuples,
+    dicts keyed by node id); ``buffer_token`` maps each materialized
+    alias root to the identity of its backing array, so two roots
+    sharing storage share a token.  Tests mutate copies of this to
+    inject IR bugs and assert the verifier catches them.
+    """
+
+    sched: List[int] = field(default_factory=list)
+    grad_sched: List[int] = field(default_factory=list)
+    kinds: Dict[int, str] = field(default_factory=dict)
+    ops: Dict[int, str] = field(default_factory=dict)
+    parents: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+    shapes: Dict[int, Tuple[int, ...]] = field(default_factory=dict)
+    requires_grad: Dict[int, bool] = field(default_factory=dict)
+    view: Dict[int, bool] = field(default_factory=dict)
+    elementwise: Dict[int, bool] = field(default_factory=dict)
+    has_kernel: Dict[int, bool] = field(default_factory=dict)
+    root: Dict[int, int] = field(default_factory=dict)
+    buffer_token: Dict[int, int] = field(default_factory=dict)
+    pinned_roots: set = field(default_factory=set)
+    needed_val: set = field(default_factory=set)
+    fused_links: List[Tuple[int, int]] = field(default_factory=list)
+    outputs: Dict[str, int] = field(default_factory=dict)
+    loss_id: int = -1
+
+    def copy(self) -> "ProgramPlan":
+        """A deep-enough copy for corruption-injection tests."""
+        return ProgramPlan(
+            sched=list(self.sched),
+            grad_sched=list(self.grad_sched),
+            kinds=dict(self.kinds),
+            ops=dict(self.ops),
+            parents=dict(self.parents),
+            shapes=dict(self.shapes),
+            requires_grad=dict(self.requires_grad),
+            view=dict(self.view),
+            elementwise=dict(self.elementwise),
+            has_kernel=dict(self.has_kernel),
+            root=dict(self.root),
+            buffer_token=dict(self.buffer_token),
+            pinned_roots=set(self.pinned_roots),
+            needed_val=set(self.needed_val),
+            fused_links=list(self.fused_links),
+            outputs=dict(self.outputs),
+            loss_id=self.loss_id,
+        )
 
 
 # ----------------------------------------------------------------------
@@ -559,6 +629,45 @@ class GraphProgram:
             buffers[nid] = taken
             pool.append((last_use[root[nid]] + 1, taken))
         self.stats.nodes = len(sched)
+
+        # Retain the scheduling/storage decisions as plain data so the
+        # IR verifier (repro.check.ir) can prove them sound without
+        # reverse-engineering the replay closures.
+        self.plan = ProgramPlan(
+            sched=list(sched),
+            grad_sched=list(grad_sched),
+            kinds={nid: nodes[nid].kind for nid in keep},
+            ops={
+                nid: nodes[nid].op
+                for nid in keep
+                if nodes[nid].kind == "op"
+            },
+            parents={nid: tuple(nodes[nid].parents) for nid in keep},
+            shapes={nid: nodes[nid].shape for nid in keep},
+            requires_grad={nid: nodes[nid].requires_grad for nid in keep},
+            view={
+                nid: bool(OPS[nodes[nid].op].view)
+                for nid in keep
+                if nodes[nid].kind == "op"
+            },
+            elementwise={
+                nid: bool(OPS[nodes[nid].op].elementwise)
+                for nid in keep
+                if nodes[nid].kind == "op"
+            },
+            has_kernel={
+                nid: OPS[nodes[nid].op].kernel is not None
+                for nid in keep
+                if nodes[nid].kind == "op"
+            },
+            root=dict(root),
+            buffer_token={nid: id(buf) for nid, buf in buffers.items()},
+            pinned_roots=set(pinned_roots),
+            needed_val=set(needed_val),
+            fused_links=sorted(fuse_next.items()),
+            outputs=dict(self._outputs),
+            loss_id=loss_id,
+        )
 
         # -- 7. forward instructions -----------------------------------
         self._storage: List[Optional[np.ndarray]] = [None] * len(nodes)
@@ -1138,6 +1247,20 @@ class CompiledTrainStep:
             stats=self.stats,
         )
         program.verify(arrays, outputs)
+        if ir_verify_enabled():
+            # Optional static pass (REPRO_IR_VERIFY=1): prove the plan
+            # sound before caching it for replay.  Imported lazily —
+            # repro.check sits above nn in the layering and must not
+            # load on the replay path.
+            from ..check.ir import verify_program
+
+            ir_findings = verify_program(program)
+            if ir_findings:
+                first = ir_findings[0]
+                raise CompileUnsupported(
+                    f"IR verifier rejected the program: {len(ir_findings)} "
+                    f"finding(s), first [{first.rule}] {first.message}"
+                )
         trace.release()  # drop example values/pins; run() needs only the tables
         self.stats.traces += 1
         return program

@@ -84,6 +84,7 @@ def pid_file_path(socket_path: str) -> str:
 #: per-process job sequence feeding span-id prefixes: two jobs inside the
 #: same client trace must never mint colliding span ids (same rule the
 #: synthesis pool applies per (worker, job)).
+#: thread-safe: itertools.count.__next__ is atomic under the GIL.
 _JOB_SEQ = itertools.count(1)
 
 

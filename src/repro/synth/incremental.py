@@ -36,6 +36,7 @@ disables the path entirely.
 from __future__ import annotations
 
 import os
+import threading
 from collections import Counter, OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -98,23 +99,41 @@ class IncrementalStats:
 
 # Counters are consulted once per plan per graph; populations overlap
 # heavily between engine batches, so memoize alongside the cone keys.
+# thread-safety: guarded by _COUNTERS_LOCK — parallel seeds share one
+# in-process engine, so this LRU is mutated from several threads (and
+# from the serve daemon's eval lane) concurrently.
 _COUNTERS: "OrderedDict[bytes, Counter]" = OrderedDict()
+_COUNTERS_LOCK = threading.Lock()
 _COUNTER_LIMIT = 2048
+
+#: The delta pipeline's fast-path contract, machine-checked by
+#: ``python -m repro check``: the kill switch is read right here
+#: (:func:`incremental_enabled`), anchors and guard failures fall back
+#: to :func:`repro.synth.batched.synthesize_many` (the bit-identical
+#: reference), and ``benchmarks/bench_incremental_eval.py`` gates the
+#: speedup while asserting bit-identity against that reference.
+FAST_PATH_CONTRACT = {
+    "kill_switch": "REPRO_INCREMENTAL_EVAL",
+    "reference": "synthesize_many",
+    "bench": "bench_incremental_eval.py",
+}
 
 
 def _cone_counter(graph: PrefixGraph) -> Counter:
     """Multiset of (cone key, width) over a graph's internal nodes."""
     identity = graph.key()
-    cached = _COUNTERS.get(identity)
-    if cached is not None:
-        _COUNTERS.move_to_end(identity)
-        return cached
+    with _COUNTERS_LOCK:
+        cached = _COUNTERS.get(identity)
+        if cached is not None:
+            _COUNTERS.move_to_end(identity)
+            return cached
     counter = Counter(
         (key, i - j) for (i, j), key in cone_keys(graph).items() if i != j
     )
-    _COUNTERS[identity] = counter
-    if len(_COUNTERS) > _COUNTER_LIMIT:
-        _COUNTERS.popitem(last=False)
+    with _COUNTERS_LOCK:
+        _COUNTERS[identity] = counter
+        if len(_COUNTERS) > _COUNTER_LIMIT:
+            _COUNTERS.popitem(last=False)
     return counter
 
 

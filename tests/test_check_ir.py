@@ -1,0 +1,285 @@
+"""GraphProgram IR verifier tests (repro.check.ir).
+
+The clean direction compiles real programs (an MLP step and the actual
+CNN-VAE training step) and asserts zero findings.  The dirty direction
+hand-injects each bug class into a copied :class:`ProgramPlan` —
+use-before-def schedules, backward disorder, aliasing writes over live
+values, illegal fusions — and asserts the verifier names the specific
+``ir-*`` rule.  A wiring test proves ``REPRO_IR_VERIFY=1`` runs the
+pass inside ``compile_train_step`` at compile time only.
+"""
+
+import numpy as np
+import pytest
+
+from repro import nn
+from repro.check.ir import IR_RULES, verify_program
+from repro.nn.compile import ir_verify_enabled
+
+
+def _rules(findings):
+    return {f.rule for f in findings}
+
+
+@pytest.fixture(scope="module")
+def mlp_plan():
+    """One compiled MLP train step's plan (module-scoped: compile once)."""
+    model = nn.MLP([6, 12, 1], np.random.default_rng(0))
+    opt = nn.Adam(model.parameters(), lr=1e-2)
+
+    def step_fn(x, y):
+        diff = model(x) - y
+        return {"loss": (diff * diff).mean()}
+
+    step = nn.compile_train_step(step_fn, model.parameters(), optimizer=opt)
+    rng = np.random.default_rng(1)
+    step(rng.standard_normal((8, 6)), rng.standard_normal((8, 1)))
+    (program,) = step._programs.values()
+    return program.plan
+
+
+class TestCleanPrograms:
+    def test_mlp_program_verifies_clean(self, mlp_plan):
+        assert verify_program(mlp_plan) == []
+
+    def test_cnn_vae_train_step_verifies_clean(self):
+        """The acceptance criterion: the real CNN-VAE step, zero findings."""
+        from repro.core.vae import CircuitVAEModel, VAEConfig
+
+        model = CircuitVAEModel(
+            VAEConfig(n=8, latent_dim=4, base_channels=4, hidden_dim=16),
+            np.random.default_rng(2),
+        )
+        opt = nn.Adam(model.parameters(), lr=1e-3)
+
+        def step_fn(x_pad, grids, eps, costs):
+            return model.training_losses(
+                x_pad, grids, eps, costs, beta=1.0, lam=0.1
+            )
+
+        step = nn.compile_train_step(
+            step_fn, model.parameters(), optimizer=opt, grad_clip=5.0
+        )
+        rng = np.random.default_rng(3)
+        grids = rng.integers(0, 2, size=(4, 8, 8)).astype(np.float64)
+        x_pad = model._pad_grids(grids)
+        eps = rng.standard_normal((4, model.config.latent_dim))
+        costs = rng.standard_normal(4)
+        step(x_pad, grids, eps, costs)
+        (program,) = step._programs.values()
+        findings = verify_program(program)
+        assert findings == [], [f.message for f in findings]
+        # real programs exercise the interesting cases: fused chains and
+        # buffer reuse are present, not vacuously absent
+        assert program.plan.fused_links
+        assert len(set(program.plan.buffer_token.values())) < len(
+            program.plan.buffer_token
+        )
+
+    def test_verifier_accepts_program_or_plan(self, mlp_plan):
+        # duck-typed: a GraphProgram (with .plan) or a bare plan
+        assert verify_program(mlp_plan) == verify_program(
+            type("Box", (), {"plan": mlp_plan})()
+        )
+
+
+class TestInjectedBugs:
+    def test_use_before_def_on_swapped_schedule(self, mlp_plan):
+        plan = mlp_plan.copy()
+        # swap a node below one of its op parents
+        for j, nid in enumerate(plan.sched):
+            op_parents = [
+                p
+                for p in plan.parents.get(nid, ())
+                if plan.kinds.get(p) == "op"
+            ]
+            if op_parents:
+                i = plan.sched.index(op_parents[0])
+                plan.sched[i], plan.sched[j] = plan.sched[j], plan.sched[i]
+                break
+        else:
+            pytest.fail("no op-parent edge to swap")
+        findings = verify_program(plan)
+        assert "ir-use-before-def" in _rules(findings)
+
+    def test_duplicate_scheduling_is_flagged(self, mlp_plan):
+        plan = mlp_plan.copy()
+        plan.sched = plan.sched + [plan.sched[0]]
+        assert "ir-use-before-def" in _rules(verify_program(plan))
+
+    def test_unscheduled_output_is_flagged(self, mlp_plan):
+        plan = mlp_plan.copy()
+        plan.sched = [nid for nid in plan.sched if nid != plan.loss_id]
+        findings = verify_program(plan)
+        assert any(
+            f.rule == "ir-use-before-def" and f.symbol.startswith("output:")
+            for f in findings
+        )
+
+    def test_backward_disorder_is_flagged(self, mlp_plan):
+        plan = mlp_plan.copy()
+        assert len(plan.grad_sched) >= 2, "fixture needs a real backward"
+        plan.grad_sched = list(reversed(plan.grad_sched))
+        findings = verify_program(plan)
+        assert "ir-bad-schedule" in _rules(findings)
+        # both failure modes surface: wrong start and parent-before-consumer
+        assert any(f.symbol == "grad-start" for f in findings)
+
+    def test_non_grad_node_in_backward_is_flagged(self, mlp_plan):
+        plan = mlp_plan.copy()
+        no_grad = next(
+            nid
+            for nid in plan.kinds
+            if not plan.requires_grad.get(nid, False)
+        )
+        plan.grad_sched = plan.grad_sched + [no_grad]
+        assert "ir-bad-schedule" in _rules(verify_program(plan))
+
+    def test_aliasing_write_over_live_value_is_flagged(self, mlp_plan):
+        plan = mlp_plan.copy()
+        pos = {nid: i for i, nid in enumerate(plan.sched)}
+        pinned = [
+            r
+            for r in plan.pinned_roots
+            if r in plan.buffer_token and r in pos
+        ]
+        assert pinned, "fixture needs a pinned, materialized root"
+        victim = min(pinned, key=pos.__getitem__)
+        overwriter = next(
+            nid
+            for nid in reversed(plan.sched)
+            if plan.root.get(nid) == nid
+            and nid in plan.buffer_token
+            and pos[nid] > pos[victim]
+        )
+        plan.buffer_token[overwriter] = plan.buffer_token[victim]
+        findings = [
+            f for f in verify_program(plan) if f.rule == "ir-overwrite-live"
+        ]
+        assert findings, "aliased write over a pinned value must be flagged"
+        assert "pinned/backward-needed" in findings[0].message
+
+    def test_legitimate_reuse_of_dead_slot_is_not_flagged(self, mlp_plan):
+        # the compiler's own arena reuse produces shared tokens between
+        # dead and live occupants; the clean fixture must already contain
+        # at least one such pair or the rule above proves nothing.
+        tokens = list(mlp_plan.buffer_token.values())
+        assert len(set(tokens)) < len(tokens)
+        assert verify_program(mlp_plan) == []
+
+    def test_illegal_fusion_into_non_elementwise_consumer_is_flagged(
+        self, mlp_plan
+    ):
+        plan = mlp_plan.copy()
+        producer, consumer = next(
+            (p, nid)
+            for nid in plan.sched
+            if not plan.elementwise.get(nid, False)
+            for p in plan.parents.get(nid, ())
+            if plan.kinds.get(p) == "op"
+        )
+        plan.fused_links = plan.fused_links + [(producer, consumer)]
+        findings = [
+            f for f in verify_program(plan) if f.rule == "ir-illegal-fusion"
+        ]
+        assert findings
+        assert any("not elementwise" in f.message for f in findings)
+
+    def test_fusion_pinned_producer_is_flagged(self, mlp_plan):
+        plan = mlp_plan.copy()
+        # forge a link whose producer's value the backward pass still needs
+        producer, consumer = next(
+            (p, nid)
+            for nid in plan.sched
+            for p in plan.parents.get(nid, ())
+            if plan.kinds.get(p) == "op"
+            and (
+                plan.root.get(p, p) in plan.pinned_roots
+                or p in plan.needed_val
+            )
+        )
+        plan.fused_links = plan.fused_links + [(producer, consumer)]
+        findings = [
+            f for f in verify_program(plan) if f.rule == "ir-illegal-fusion"
+        ]
+        assert findings
+
+    def test_fusion_wrong_consumer_is_flagged(self, mlp_plan):
+        plan = mlp_plan.copy()
+        # the last op cannot be a parent of the first
+        a, b = plan.sched[0], plan.sched[-1]
+        plan.fused_links = plan.fused_links + [(b, a)]
+        findings = [
+            f for f in verify_program(plan) if f.rule == "ir-illegal-fusion"
+        ]
+        assert any("does not read the producer" in f.message for f in findings)
+
+    def test_all_rule_ids_are_documented(self):
+        assert set(IR_RULES) == {
+            "ir-use-before-def",
+            "ir-bad-schedule",
+            "ir-overwrite-live",
+            "ir-illegal-fusion",
+        }
+
+
+class TestCompileWiring:
+    def test_env_knob_toggles(self, monkeypatch):
+        monkeypatch.delenv("REPRO_IR_VERIFY", raising=False)
+        assert not ir_verify_enabled()
+        monkeypatch.setenv("REPRO_IR_VERIFY", "1")
+        assert ir_verify_enabled()
+        monkeypatch.setenv("REPRO_IR_VERIFY", "0")
+        assert not ir_verify_enabled()
+
+    def test_verify_runs_at_compile_time_only(self, monkeypatch):
+        monkeypatch.setenv("REPRO_IR_VERIFY", "1")
+        calls = []
+        import repro.check.ir as ir_mod
+
+        real = ir_mod.verify_program
+
+        def spy(program):
+            calls.append(1)
+            return real(program)
+
+        monkeypatch.setattr(ir_mod, "verify_program", spy)
+
+        model = nn.MLP([4, 8, 1], np.random.default_rng(4))
+        opt = nn.Adam(model.parameters(), lr=1e-2)
+
+        def step_fn(x, y):
+            diff = model(x) - y
+            return {"loss": (diff * diff).mean()}
+
+        step = nn.compile_train_step(step_fn, model.parameters(), optimizer=opt)
+        rng = np.random.default_rng(5)
+        X, Y = rng.standard_normal((8, 4)), rng.standard_normal((8, 1))
+        for _ in range(4):
+            step(X, Y)
+        # one verification at trace time, none per replay
+        assert calls == [1]
+        assert step.stats.traces == 1 and step.stats.replays == 4
+
+    def test_rejected_program_raises_compile_unsupported(self, monkeypatch):
+        monkeypatch.setenv("REPRO_IR_VERIFY", "1")
+        import repro.check.ir as ir_mod
+        from repro.check.findings import Finding
+
+        monkeypatch.setattr(
+            ir_mod,
+            "verify_program",
+            lambda program: [
+                Finding(
+                    rule="ir-overwrite-live",
+                    severity="error",
+                    path="<GraphProgram>",
+                    line=0,
+                    message="injected",
+                )
+            ],
+        )
+        a = nn.Tensor([1.0, 2.0], requires_grad=True)
+        step = nn.compile_train_step(lambda: {"loss": (a * a).sum()}, [a])
+        with pytest.raises(nn.CompileUnsupported, match="ir-overwrite-live"):
+            step._compile(())

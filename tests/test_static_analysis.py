@@ -1,0 +1,38 @@
+"""Tier-1 gate: the shipped tree passes its own static analyzer.
+
+Runs the full default scan (src/repro + scripts + benchmarks, all
+whole-tree rules armed) against the committed baseline and fails the
+suite on any non-baselined finding or stale baseline entry — the same
+bar CI's check-smoke job enforces via ``python -m repro check --strict``.
+"""
+
+import os
+
+import pytest
+
+from repro.check import BASELINE_NAME, Baseline, run_check, render_text
+
+ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+
+@pytest.fixture(scope="module")
+def split_findings():
+    findings = run_check(ROOT)
+    baseline = Baseline.load(os.path.join(ROOT, BASELINE_NAME))
+    return baseline.split(findings)
+
+
+def test_tree_is_clean_modulo_baseline(split_findings):
+    active, suppressed, stale = split_findings
+    assert active == [], "\n" + render_text(active, suppressed, stale)
+
+
+def test_baseline_has_no_stale_entries(split_findings):
+    _active, _suppressed, stale = split_findings
+    assert stale == [], stale
+
+
+def test_every_baselined_finding_is_justified():
+    baseline = Baseline.load(os.path.join(ROOT, BASELINE_NAME))
+    for key, justification in baseline.entries.items():
+        assert justification.strip(), key
