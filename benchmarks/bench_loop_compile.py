@@ -1,0 +1,325 @@
+"""Microbench: recorded training loops + stacked replica training.
+
+PR 5's engine (``repro.nn.compile``) removed per-op Python dispatch from
+one training step; this bench gates the two layers built on top of it:
+
+* **recorded loop** (:mod:`repro.nn.loop`) — replays a whole checkpoint
+  segment per Python entry: pre-drawn rng, flat parameter/Adam state,
+  dataset-level im2col.  Contract: *bitwise identical* to calling the
+  compiled step once per step.  Gate: **>= 1.5x** over the per-step
+  compiled path on a full retrain.
+* **stacked replicas** (:mod:`repro.core.replicas` /
+  :mod:`repro.nn.vmap`) — trains K architecturally identical models as
+  one batched program with a leading replica axis.  Contract:
+  per-replica loss curves within **1e-10** of the eager reference.
+  Gate: **>= 2x** over serial replica training, where "serial" is the
+  per-replica per-step compiled path — PR 5's engine, i.e. exactly what
+  both kill switches restore (the opt-out leg below proves that
+  restoration bit-identical).
+
+Both gates measure the overhead-dominated regime the fast paths target
+(tiny model, small batches, many steps — per-step Python glue is the
+cost being removed); at BLAS-bound scales the loop converges to the
+program's own compute and the gates would measure the machine, not the
+code.
+
+Always asserted, at every scale:
+
+* loop ON vs loop OFF: bit-identical loss curves and final parameters;
+* ``train_replicas`` under both kill switches vs per-replica
+  ``train_model`` with the loop disabled (PR 5 behavior): bit-identical;
+* stacked replicas vs the eager tape reference: curves within 1e-10;
+* compiled vs eager reference: curves within 1e-10.
+
+Environment knobs:
+
+* ``REPRO_BENCH_TRAIN_EPOCHS`` — timed epochs (default 32).  The
+  speedup gates only arm at 4+ epochs; CI's perf-smoke runs 2 epochs,
+  where only the equivalence contracts are asserted and the record is
+  still written.
+* ``REPRO_BENCH_REPLICAS`` — replica count K (default 4, the gated
+  configuration).
+* ``REPRO_BENCH_ASSERT_SPEEDUP=0`` — disable the speedup gates (the
+  record is still written; equivalence is always asserted).
+"""
+
+import os
+import time
+
+import numpy as np
+
+import repro.core.replicas  # noqa: F401  (fast-path contract: bench imports)
+import repro.nn.loop  # noqa: F401  (fast-path contract: bench imports)
+from repro import nn
+from repro.core.dataset import CircuitDataset
+from repro.core.training import TrainConfig, train_model, train_replicas
+from repro.core.vae import CircuitVAEModel, VAEConfig
+from repro.prefix import random_graph
+
+from _record import record_path, write_record
+from common import once
+
+EPOCHS = int(os.environ.get("REPRO_BENCH_TRAIN_EPOCHS", "32"))
+REPLICAS = int(os.environ.get("REPRO_BENCH_REPLICAS", "4"))
+OUT_PATH = record_path("loop_compile")
+LOOP_SPEEDUP_TARGET = 1.5
+STACKED_SPEEDUP_TARGET = 2.0
+N = 8
+DATASET = 16
+BATCH = 2  # 8 steps/epoch: the dispatch-bound regime the loop removes
+EQUIV_EPOCHS = 4
+VCFG = dict(n=N, base_channels=2, hidden_dim=16, latent_dim=4)
+CURVES = ("total", "reconstruction", "kl", "cost")
+
+_ENGINE_KNOBS = ("REPRO_COMPILED_TRAIN", "REPRO_COMPILED_LOOP", "REPRO_STACKED_REPLICAS")
+
+
+def _engines(**knobs):
+    """Set engine kill switches for one call, restoring after."""
+
+    class _Ctx:
+        def __enter__(self):
+            self._saved = {k: os.environ.get(k) for k in _ENGINE_KNOBS}
+            for key, value in knobs.items():
+                os.environ[key] = value
+            return self
+
+        def __exit__(self, *exc):
+            for key, value in self._saved.items():
+                if value is None:
+                    os.environ.pop(key, None)
+                else:
+                    os.environ[key] = value
+
+    return _Ctx()
+
+
+def _dataset(seed):
+    rng = np.random.default_rng(seed)
+    ds = CircuitDataset()
+    while len(ds) < DATASET:
+        g = random_graph(N, rng, rng.random() * 0.6)
+        ds.add(g, float(g.node_count()))
+    return ds
+
+
+def _fixtures(count):
+    """Deterministic per-replica (model, dataset, rng, optimizer) sets."""
+    models = [
+        CircuitVAEModel(VAEConfig(**VCFG), np.random.default_rng(10 + k))
+        for k in range(count)
+    ]
+    datasets = [_dataset(k) for k in range(count)]
+    rngs = [np.random.default_rng(20 + k) for k in range(count)]
+    optimizers = [nn.Adam(m.parameters(), lr=1e-3) for m in models]
+    return models, datasets, rngs, optimizers
+
+
+def _curves(stats):
+    return {name: np.asarray(getattr(stats, name)) for name in CURVES}
+
+
+def _assert_bitwise(mine, reference, label):
+    for name in CURVES:
+        assert np.array_equal(mine[name], reference[name]), (
+            f"{label}: curve {name!r} is not bit-identical"
+        )
+
+
+def _assert_close(mine, reference, label):
+    for name in CURVES:
+        np.testing.assert_allclose(
+            mine[name], reference[name], rtol=1e-10, atol=1e-12,
+            err_msg=f"{label}: curve {name!r} drifts beyond 1e-10",
+        )
+
+
+def _train_grid(epochs, **knobs):
+    """Per-replica train_model calls under the given engine knobs."""
+    models, datasets, rngs, optimizers = _fixtures(REPLICAS)
+    config = TrainConfig(epochs=epochs, batch_size=BATCH)
+    out = []
+    with _engines(**knobs):
+        for model, ds, rng, opt in zip(models, datasets, rngs, optimizers):
+            stats = train_model(model, ds, rng, config, optimizer=opt)
+            out.append((_curves(stats), model.state_dict(), stats))
+    return out
+
+
+def _check_equivalence():
+    config_epochs = EQUIV_EPOCHS
+    eager = _train_grid(config_epochs, REPRO_COMPILED_TRAIN="0")
+    pr5 = _train_grid(
+        config_epochs, REPRO_COMPILED_TRAIN="1", REPRO_COMPILED_LOOP="0"
+    )
+    looped = _train_grid(
+        config_epochs, REPRO_COMPILED_TRAIN="1", REPRO_COMPILED_LOOP="1"
+    )
+
+    curve_dev = 0.0
+    for (e_curves, _, _), (p_curves, p_state, p_stats), (l_curves, l_state, l_stats) in zip(
+        eager, pr5, looped
+    ):
+        # Recorded loop: bitwise vs the per-step compiled path it replays.
+        assert l_stats.compiled and len(l_stats.loop_seconds) > 0
+        _assert_bitwise(l_curves, p_curves, "recorded loop vs per-step")
+        for name, value in l_state.items():
+            assert np.array_equal(value, p_state[name]), (
+                f"recorded loop vs per-step: parameter {name!r} differs"
+            )
+        # Compiled engine vs the eager tape: the 1e-10 contract.
+        _assert_close(p_curves, e_curves, "compiled vs eager")
+        for name in CURVES:
+            a, b = e_curves[name], p_curves[name]
+            curve_dev = max(curve_dev, float(np.max(np.abs(b - a) / np.abs(a))))
+
+    # Stacked replicas: one batched program, curves vs eager within 1e-10.
+    models, datasets, rngs, optimizers = _fixtures(REPLICAS)
+    config = TrainConfig(epochs=config_epochs, batch_size=BATCH)
+    with _engines(REPRO_COMPILED_TRAIN="1", REPRO_STACKED_REPLICAS="1"):
+        stacked_stats = train_replicas(models, datasets, rngs, config, optimizers)
+    assert all(s.stacked for s in stacked_stats), "stacked path did not engage"
+    stacked_dev = 0.0
+    for stats, (e_curves, _, _) in zip(stacked_stats, eager):
+        s_curves = _curves(stats)
+        _assert_close(s_curves, e_curves, "stacked vs eager")
+        for name in CURVES:
+            a, b = e_curves[name], s_curves[name]
+            stacked_dev = max(stacked_dev, float(np.max(np.abs(b - a) / np.abs(a))))
+
+    # Kill switches: train_replicas with both switches thrown must be
+    # bit-identical to PR 5 behavior (per-replica per-step compiled).
+    models, datasets, rngs, optimizers = _fixtures(REPLICAS)
+    with _engines(
+        REPRO_COMPILED_TRAIN="1",
+        REPRO_COMPILED_LOOP="0",
+        REPRO_STACKED_REPLICAS="0",
+    ):
+        serial_stats = train_replicas(models, datasets, rngs, config, optimizers)
+    for stats, model, (_, p_state, _) in zip(serial_stats, models, pr5):
+        assert not stats.stacked
+        state = model.state_dict()
+        for name, value in p_state.items():
+            assert np.array_equal(state[name], value), (
+                f"kill-switch path: parameter {name!r} differs from PR 5 behavior"
+            )
+    for stats, (p_curves, _, _) in zip(serial_stats, pr5):
+        _assert_bitwise(_curves(stats), p_curves, "kill-switch path vs PR 5")
+
+    return curve_dev, stacked_dev
+
+
+class _SteadyLoop:
+    """Steady-state single-model retrain under one loop setting."""
+
+    def __init__(self, loop):
+        self.loop = loop
+        self.model = CircuitVAEModel(VAEConfig(**VCFG), np.random.default_rng(1))
+        self.optimizer = nn.Adam(self.model.parameters(), lr=1e-3)
+        self.ds = _dataset(0)
+        self.rng = np.random.default_rng(2)
+        self.config = TrainConfig(epochs=EPOCHS, batch_size=BATCH)
+        self()  # warm-up (compiles once)
+
+    def __call__(self):
+        with _engines(REPRO_COMPILED_TRAIN="1", REPRO_COMPILED_LOOP=self.loop):
+            start = time.perf_counter()
+            train_model(
+                self.model, self.ds, self.rng, self.config, optimizer=self.optimizer
+            )
+            return time.perf_counter() - start
+
+
+class _SteadyReplicas:
+    """Steady-state K-replica retrain: stacked vs the PR 5 serial path."""
+
+    def __init__(self, stacked):
+        self.stacked = stacked
+        self.models, self.datasets, self.rngs, self.optimizers = _fixtures(REPLICAS)
+        self.config = TrainConfig(epochs=EPOCHS, batch_size=BATCH)
+        self()  # warm-up
+
+    def __call__(self):
+        knobs = dict(REPRO_COMPILED_TRAIN="1", REPRO_STACKED_REPLICAS=self.stacked)
+        if self.stacked == "0":
+            knobs["REPRO_COMPILED_LOOP"] = "0"  # serial baseline = PR 5 engine
+        with _engines(**knobs):
+            start = time.perf_counter()
+            train_replicas(
+                self.models, self.datasets, self.rngs, self.config, self.optimizers
+            )
+            return time.perf_counter() - start
+
+
+def run_loop_compile():
+    curve_dev, stacked_dev = _check_equivalence()
+
+    # Min-of-rounds per configuration: load spikes only ever add time,
+    # so the minimum is the robust steady-state estimator.
+    step_trainer = _SteadyLoop("0")
+    step_s = min(step_trainer() for _ in range(5))
+    loop_trainer = _SteadyLoop("1")
+    loop_s = min(loop_trainer() for _ in range(5))
+
+    serial = _SteadyReplicas("0")
+    serial_s = min(serial() for _ in range(5))
+    stacked = _SteadyReplicas("1")
+    stacked_s = min(stacked() for _ in range(5))
+
+    steps = EPOCHS * (DATASET // BATCH)
+    stats = {
+        "n": N,
+        "dataset": DATASET,
+        "batch_size": BATCH,
+        "epochs": EPOCHS,
+        "steps": steps,
+        "replicas": REPLICAS,
+        "model": dict(VCFG),
+        "per_step_s": step_s,
+        "loop_s": loop_s,
+        "loop_speedup": step_s / loop_s,
+        "serial_replicas_s": serial_s,
+        "stacked_replicas_s": stacked_s,
+        "stacked_speedup": serial_s / stacked_s,
+        "loop_ms_per_step": loop_s / steps * 1e3,
+        "per_step_ms_per_step": step_s / steps * 1e3,
+        "compiled_curve_max_rel_dev": curve_dev,
+        "stacked_curve_max_rel_dev": stacked_dev,
+        "cpus": os.cpu_count() or 1,
+    }
+    write_record("loop_compile", stats)
+    return stats
+
+
+def test_loop_compile(benchmark):
+    stats = once(benchmark, run_loop_compile)
+    print()
+    print(
+        f"recorded loop / stacked replicas: n={stats['n']} "
+        f"batch={stats['batch_size']} K={stats['replicas']} "
+        f"({stats['cpus']} CPUs)"
+    )
+    print(f"  per-step compiled {stats['per_step_ms_per_step']:8.3f} ms/step")
+    print(
+        f"  recorded loop     {stats['loop_ms_per_step']:8.3f} ms/step "
+        f"({stats['loop_speedup']:.2f}x)"
+    )
+    print(
+        f"  serial K={stats['replicas']}        {stats['serial_replicas_s']*1e3:8.1f} ms/retrain"
+    )
+    print(
+        f"  stacked K={stats['replicas']}       {stats['stacked_replicas_s']*1e3:8.1f} ms/retrain "
+        f"({stats['stacked_speedup']:.2f}x)"
+    )
+    print(
+        f"  stacked-vs-eager curve max rel dev {stats['stacked_curve_max_rel_dev']:.2e} "
+        f"(contract: 1e-10)"
+    )
+    print(f"  record -> {OUT_PATH}")
+    # Equivalence (bit-identity + 1e-10 curves + kill switches) is
+    # asserted inside run_loop_compile at every scale; the throughput
+    # gates arm once there are enough timed steps for a stable
+    # measurement.
+    if EPOCHS >= 4 and os.environ.get("REPRO_BENCH_ASSERT_SPEEDUP") != "0":
+        assert stats["loop_speedup"] >= LOOP_SPEEDUP_TARGET, stats
+        assert stats["stacked_speedup"] >= STACKED_SPEEDUP_TARGET, stats

@@ -42,18 +42,26 @@ from __future__ import annotations
 import json
 import os
 import time
+import weakref
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 import numpy as np
 
 from .. import nn
+from ..nn.loop import CompiledTrainLoop, use_compiled_loop
 from ..obs import trace
 from ..utils.io import atomic_write_json
 from .dataset import CircuitDataset
 from .vae import CircuitVAEModel
 
-__all__ = ["TrainConfig", "TrainStats", "train_model", "report_training_round"]
+__all__ = [
+    "TrainConfig",
+    "TrainStats",
+    "train_model",
+    "train_replicas",
+    "report_training_round",
+]
 
 
 @dataclass(frozen=True)
@@ -88,6 +96,17 @@ class TrainStats:
     #: wall-clock of each compiled-step replay in this call (seconds);
     #: empty when every step ran eager.
     replay_seconds: List[float] = field(default_factory=list)
+    #: wall-clock of each eager (fallback) step in this call (seconds);
+    #: the eager twin of ``replay_seconds``, so latency telemetry sees
+    #: both engines (``train_step_eager`` histogram).
+    eager_seconds: List[float] = field(default_factory=list)
+    #: wall-clock of each recorded-loop segment replay in this call
+    #: (seconds); empty unless the recorded loop ran
+    #: (``train_loop_replay`` histogram, ``loop_replays`` counter).
+    loop_seconds: List[float] = field(default_factory=list)
+    #: True when this round trained as one replica of a stacked
+    #: multi-model program (:func:`repro.core.replicas.train_replicas`).
+    stacked: bool = False
     #: per-kernel replay-second *deltas* (``fwd:<op>`` / ``bwd:<op>``)
     #: from this call; populated only under ``REPRO_PROFILE=1``.
     kernel_seconds: Dict[str, float] = field(default_factory=dict)
@@ -127,19 +146,35 @@ def _compiled_step_for(
 ) -> nn.CompiledTrainStep:
     """The model's compiled step, cached on the optimizer across rounds.
 
-    Keyed by everything that changes the traced graph or the update rule
-    (epochs do not); shape changes are handled inside the step's own
-    signature cache.
+    Keyed per live model through a ``WeakKeyDictionary`` — a
+    garbage-collected model's entries die with it, so a new model whose
+    ``id()`` happens to be recycled can never inherit a stale compiled
+    step — then by everything that changes the traced graph or the
+    update rule (epochs do not); shape changes are handled inside the
+    step's own signature cache.
     """
     cache = getattr(optimizer, "_compiled_train_steps", None)
     if cache is None:
-        cache = {}
+        cache = weakref.WeakKeyDictionary()
         optimizer._compiled_train_steps = cache
-    key = (id(model), config.beta, config.lam, config.grad_clip)
-    step = cache.get(key)
+    per_model = cache.get(model)
+    if per_model is None:
+        per_model = {}
+        cache[model] = per_model
+    key = (config.beta, config.lam, config.grad_clip)
+    step = per_model.get(key)
     if step is None:
+        # The step must not strongly reference the model (a WeakKey
+        # entry whose value holds its key is immortal), so the trace
+        # closure goes through a weakref.  Only tracing calls it; an
+        # already-compiled program replays without touching the model.
+        model_ref = weakref.ref(model)
+
         def step_fn(x_pad, target_grid, eps, cost_targets):
-            return model.training_losses(
+            live = model_ref()
+            if live is None:
+                raise nn.CompileUnsupported("model was garbage-collected")
+            return live.training_losses(
                 x_pad, target_grid, eps, cost_targets,
                 beta=config.beta, lam=config.lam,
             )
@@ -148,8 +183,32 @@ def _compiled_step_for(
             step_fn, model.parameters(), optimizer=optimizer,
             grad_clip=config.grad_clip,
         )
-        cache[key] = step
+        per_model[key] = step
     return step
+
+
+def _compiled_loop_for(step: nn.CompiledTrainStep) -> CompiledTrainLoop:
+    """The step's recorded loop, cached on the step itself."""
+    loop = getattr(step, "_train_loop", None)
+    if loop is None:
+        loop = CompiledTrainLoop(step)
+        step._train_loop = loop
+    return loop
+
+
+def _loop_segment_epochs(epoch: int, config: TrainConfig, checkpoint_dir) -> int:
+    """Epochs from ``epoch`` to the next durable-checkpoint boundary.
+
+    Without checkpointing the whole remaining run is one segment;
+    otherwise segments end exactly where ``train_model`` writes
+    checkpoints, so the rng stream and parameter state at every save
+    point are bit-identical to per-step execution.
+    """
+    if checkpoint_dir is None or config.checkpoint_every <= 0:
+        return config.epochs - epoch
+    every = config.checkpoint_every
+    boundary = ((epoch // every) + 1) * every
+    return min(boundary, config.epochs) - epoch
 
 
 # ----------------------------------------------------------------------
@@ -309,6 +368,7 @@ def train_model(
     optimizer: Optional[nn.Adam] = None,
     checkpoint_dir: Optional[str] = None,
     checkpoint_tag: str = "train",
+    replica_pool=None,
 ) -> TrainStats:
     """Fit the model on the current dataset; returns loss traces.
 
@@ -322,11 +382,25 @@ def train_model(
     matching checkpoint — restoring parameters, optimizer moments and
     the rng state exactly, so a resumed run is bit-identical to an
     uninterrupted one.
+
+    ``replica_pool`` (a :class:`repro.core.replicas.ReplicaRoundPool`
+    handle, installed by the seed-grid runner) lets identically shaped
+    first-round cells train as one stacked multi-replica program; a
+    checkpointed cell withdraws immediately so durable resume semantics
+    stay per-cell.
     """
     config = config or TrainConfig()
     if len(dataset) == 0:
         raise ValueError("cannot train on an empty dataset")
     optimizer = optimizer or nn.Adam(model.parameters(), lr=config.lr)
+
+    if replica_pool is not None:
+        if checkpoint_dir is not None:
+            replica_pool.withdraw()
+        else:
+            pooled = replica_pool.train(model, dataset, rng, config, optimizer)
+            if pooled is not None:
+                return pooled
 
     mean, std = dataset.cost_normalizer()
     model.set_cost_normalizer(mean, std)
@@ -360,9 +434,44 @@ def train_model(
     sample_p = dataset.weights() if config.reweight else dataset.uniform_weights()
     all_grids = dataset.grids()
     model.train()
+
+    # Recorded-loop engine: replay whole checkpoint segments through the
+    # step's own program (REPRO_COMPILED_LOOP=0 forces per-step replay;
+    # anything the loop cannot prove bit-identical also falls back).
+    session = None
+    if compiled_step is not None and use_compiled_loop():
+        try:
+            session = _compiled_loop_for(compiled_step).begin(
+                all_grids, targets, sample_p, batch, model._pad_grids, latent_dim
+            )
+        except nn.CompileUnsupported:
+            session = None
+    segment_rows = None
+    segment_next = 0
+
     for epoch in range(start_epoch, config.epochs):
+        if session is not None and segment_rows is None:
+            seg_epochs = _loop_segment_epochs(epoch, config, checkpoint_dir)
+            seg_start = time.perf_counter()
+            segment_rows = session.run(seg_epochs * batches_per_epoch, rng)
+            stats.loop_seconds.append(time.perf_counter() - seg_start)
+            segment_next = 0
         epoch_total = epoch_rec = epoch_kl = epoch_cost = 0.0
         for _batch in range(batches_per_epoch):
+            if segment_rows is not None:
+                row = segment_rows[segment_next]
+                segment_next += 1
+                values = {
+                    "loss": float(row[0]),
+                    "reconstruction": float(row[1]),
+                    "kl": float(row[2]),
+                    "cost": float(row[3]),
+                }
+                epoch_total += values["loss"]
+                epoch_rec += values["reconstruction"]
+                epoch_kl += values["kl"]
+                epoch_cost += values["cost"]
+                continue
             idx = rng.choice(len(dataset), size=batch, replace=True, p=sample_p)
             grids = all_grids[idx]
             batch_targets = targets[idx]
@@ -381,6 +490,7 @@ def train_model(
                     # would only burn time.
                     compiled_step = None
             if values is None:
+                step_start = time.perf_counter()
                 outs = model.training_losses(
                     nn.Tensor(x_pad),
                     nn.Tensor(grids),
@@ -394,6 +504,7 @@ def train_model(
                 nn.clip_grad_norm(model.parameters(), config.grad_clip)
                 optimizer.step()
                 values = {name: tensor.item() for name, tensor in outs.items()}
+                stats.eager_seconds.append(time.perf_counter() - step_start)
 
             epoch_total += values["loss"]
             epoch_rec += values["reconstruction"]
@@ -403,6 +514,8 @@ def train_model(
         stats.reconstruction.append(epoch_rec / batches_per_epoch)
         stats.kl.append(epoch_kl / batches_per_epoch)
         stats.cost.append(epoch_cost / batches_per_epoch)
+        if segment_rows is not None and segment_next >= len(segment_rows):
+            segment_rows = None
 
         done = epoch + 1
         if checkpoint_dir is not None and config.checkpoint_every > 0:
@@ -433,6 +546,18 @@ def train_model(
     return stats
 
 
+def train_replicas(models, datasets, rngs, config=None, optimizers=None):
+    """Train K same-architecture models as one stacked program.
+
+    Thin indirection over :func:`repro.core.replicas.train_replicas`
+    (imported lazily — replicas builds on this module's
+    :func:`train_model` for its serial reference path).
+    """
+    from .replicas import train_replicas as _impl
+
+    return _impl(models, datasets, rngs, config=config, optimizers=optimizers)
+
+
 def report_training_round(simulator, stats: TrainStats, round_index: int) -> None:
     """Surface one ``train_model`` round through the engine plumbing.
 
@@ -452,8 +577,15 @@ def report_training_round(simulator, stats: TrainStats, round_index: int) -> Non
         telemetry.add("train_replays", counters.get("replays", 0))
         telemetry.add("train_fused_kernels", counters.get("fused_ops", 0))
         telemetry.add("train_fallbacks", counters.get("fallbacks", 0))
+        telemetry.add("loop_replays", len(stats.loop_seconds))
+        if stats.stacked:
+            telemetry.add("stacked_replicas", 1)
         for seconds in stats.replay_seconds:
             telemetry.observe_latency("train_step_replay", seconds)
+        for seconds in stats.eager_seconds:
+            telemetry.observe_latency("train_step_eager", seconds)
+        for seconds in stats.loop_seconds:
+            telemetry.observe_latency("train_loop_replay", seconds)
         # REPRO_PROFILE=1 only: fold the round's per-kernel replay
         # seconds into the stage timers and emit matching
         # imposed-duration spans, so trace-derived stage totals keep

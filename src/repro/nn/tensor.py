@@ -50,10 +50,18 @@ __all__ = [
 ]
 
 
-class _GradMode:
-    """Global switch for gradient recording (see :func:`no_grad`)."""
+class _GradMode(threading.local):
+    """Per-thread switch for gradient recording (see :func:`no_grad`).
+
+    Thread-local so one seed cell's ``no_grad`` section (latent search
+    evaluates helpers without growing the tape) can never disable graph
+    construction in a concurrently searching or training cell.
+    """
 
     enabled: bool = True
+
+
+_grad_mode = _GradMode()
 
 
 class no_grad:
@@ -64,17 +72,17 @@ class no_grad:
     """
 
     def __enter__(self) -> "no_grad":
-        self._prev = _GradMode.enabled
-        _GradMode.enabled = False
+        self._prev = _grad_mode.enabled
+        _grad_mode.enabled = False
         return self
 
     def __exit__(self, *exc) -> None:
-        _GradMode.enabled = self._prev
+        _grad_mode.enabled = self._prev
 
 
 def is_grad_enabled() -> bool:
     """Return whether operations currently record gradients."""
-    return _GradMode.enabled
+    return _grad_mode.enabled
 
 
 def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
@@ -137,7 +145,7 @@ def apply(op_name: str, inputs: Sequence["Tensor"], attrs: Optional[dict] = None
             )
     data = op.forward(arrays, attrs)
     out = Tensor(data)
-    if _GradMode.enabled and any(p.requires_grad for p in inputs):
+    if _grad_mode.enabled and any(p.requires_grad for p in inputs):
         out.requires_grad = True
         out._parents = tuple(inputs)
         out._op = op_name
@@ -181,7 +189,7 @@ class Tensor:
         if dtype is None:
             dtype = np.float32 if arr.dtype == np.float32 else np.float64
         self.data: np.ndarray = np.asarray(arr, dtype=dtype)
-        self.requires_grad: bool = bool(requires_grad) and _GradMode.enabled
+        self.requires_grad: bool = bool(requires_grad) and _grad_mode.enabled
         self.grad: Optional[np.ndarray] = None
         self._backward: Optional[Callable[[np.ndarray], None]] = None
         self._parents: Tuple["Tensor", ...] = ()
@@ -249,7 +257,7 @@ class Tensor:
         back to eager execution.
         """
         out = Tensor(data)
-        if _GradMode.enabled and any(p.requires_grad for p in parents):
+        if _grad_mode.enabled and any(p.requires_grad for p in parents):
             out.requires_grad = True
             out._parents = tuple(parents)
             out._backward = backward

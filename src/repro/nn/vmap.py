@@ -1,0 +1,777 @@
+"""Vmap-style stacked replay of one compiled train step for K replicas.
+
+:class:`StackedTrainStep` takes the :class:`~repro.nn.compile.GraphProgram`
+of ONE traced training step and re-executes its plan with every tensor
+carrying a leading replica axis: parameters, activations, gradients and
+(through :mod:`repro.core.replicas`) the Adam moments all become
+``(K, ...)`` arrays, so K architecturally identical models train through
+one batched program instead of K serial program replays.
+
+Lifting rules
+-------------
+* **Elementwise** ops broadcast unchanged once both stacked operands
+  agree on rank; a lower-rank stacked operand is viewed as
+  ``(K, 1, ..., shape)`` so the replica axes stay aligned.  Scalar
+  trace constants (loss weights and literals) are shared across
+  replicas and broadcast naturally.
+* **Reductions** shift their axes right by one (``axis=None`` becomes
+  "all but the replica axis").
+* **2-D matmuls** become batched 3-D matmuls — numpy's operator
+  semantics, no new kernel.
+* **Convolutions** merge the replica axis into the batch axis and reuse
+  the solo fast kernels' im2col/col2im plumbing
+  (:class:`~repro.nn.compile._Im2Col` / ``_Col2Im``) on ``(K*B, ...)``
+  workspaces; the weight contraction keeps the replica axis through a
+  batched matmul + batch-sum, mirroring ``_BatchGemmT``'s long-
+  contraction strategy per replica.
+
+Anything outside the lifted op set — or any structural surprise (non-
+scalar constants, fancy indexing, reshapes that cannot be views) —
+raises :class:`~repro.nn.compile.CompileUnsupported` at build time and
+the caller falls back to serial per-replica training, which is always
+the reference.  Per-replica results agree with solo replay to floating-
+point reassociation (the weight-gradient contraction associates
+differently than ``_BatchGemmT``'s short-contraction GEMM); the caller
+verifies the first stacked step against solo replay before trusting a
+session, and ``benchmarks/bench_loop_compile.py`` gates the loss curves
+against the eager reference at 1e-10.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .compile import CompileUnsupported, GraphProgram, _Col2Im, _Im2Col
+from .graph import stable_sigmoid
+
+__all__ = ["StackedTrainStep"]
+
+
+#: Ops the stacked interpreter knows how to lift.  Everything else is a
+#: build-time ``CompileUnsupported`` (serial training is the fallback).
+_LIFTED_OPS = frozenset(
+    {
+        "add", "sub", "mul", "div", "neg", "abs", "exp", "sqrt",
+        "tanh", "sigmoid", "softplus", "relu", "pow",
+        "sum", "reshape", "transpose", "getitem", "matmul",
+        "conv2d", "conv_transpose2d",
+    }
+)
+
+
+def _as_view(array: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """``array.reshape(shape)`` guaranteed to alias (never copy)."""
+    view = array.reshape(shape)
+    if view.base is None and view is not array:
+        raise CompileUnsupported("stacked reshape would copy, not view")
+    return view
+
+
+def _stacked_unbroadcast(grad: np.ndarray, pshape: Tuple[int, ...]) -> np.ndarray:
+    """Reduce a stacked gradient onto a stacked parent shape.
+
+    The replica axis (axis 0) is never reduced; extra broadcast axes sit
+    immediately after it and kept-1 axes align trailing, exactly as in
+    the solo ``_unbroadcast`` shifted right by one.
+    """
+    extra = (grad.ndim - 1) - len(pshape)
+    if extra:
+        grad = grad.sum(axis=tuple(range(1, 1 + extra)))
+    axes = tuple(
+        1 + i
+        for i, size in enumerate(pshape)
+        if size == 1 and grad.shape[1 + i] != 1
+    )
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad
+
+
+class _StackedGemmT:
+    """``_BatchGemmT`` with a leading replica axis — per replica,
+    ``sum_b A[k,b] @ B[k,b].T``, choosing the SAME strategy by the same
+    shape rule as the solo kernel so each replica slice reduces in the
+    identical association (bitwise-equal to solo replay).  The short-
+    contraction regime transposes all K replicas in two copies and runs
+    one K-batched GEMM over the merged ``B*L`` axis instead of K
+    round trips."""
+
+    def __init__(self, k: int, a_shape, b_shape) -> None:
+        batch, rows, length = a_shape
+        _, cols, _ = b_shape
+        self.out = np.empty((k, rows, cols))
+        self.batched = length >= 32
+        if self.batched:
+            self.prod = np.empty((k, batch, rows, cols))
+        else:
+            self.a_t = np.empty((k, rows, batch, length))
+            self.a_3d = self.a_t.reshape(k, rows, batch * length)
+            self.b_t = np.empty((k, cols, batch, length))
+            self.b_3d = self.b_t.reshape(k, cols, batch * length)
+
+    def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """``a`` is ``(K, B, R, L)``, ``b`` is ``(K, B, C, L)``."""
+        if self.batched:
+            np.matmul(a, b.transpose(0, 1, 3, 2), out=self.prod)
+            np.sum(self.prod, axis=1, out=self.out)
+            return self.out
+        np.copyto(self.a_t, a.transpose(0, 2, 1, 3))
+        np.copyto(self.b_t, b.transpose(0, 2, 1, 3))
+        np.matmul(self.a_3d, self.b_3d.transpose(0, 2, 1), out=self.out)
+        return self.out
+
+
+class _StackedConv2d:
+    """conv2d lifted to ``(K, B, ...)``: merged-batch im2col + one
+    broadcast matmul; the backward mirrors the solo ``_Conv2dBackward``
+    strategy choices (``_BatchGemmT`` regime, dx-as-correlation vs
+    col2im) so each replica slice stays bitwise-equal to solo replay."""
+
+    def __init__(self, attrs, x_shape, w_shape, k: int, need_dx: bool) -> None:
+        stride, padding = attrs["stride"], attrs["padding"]
+        batch, channels, height, width = x_shape
+        out_ch, _, kh, kw = w_shape
+        self.k, self.batch = k, batch
+        self.x_merged = (k * batch, channels, height, width)
+        self.unfold = _Im2Col(self.x_merged, kh, kw, stride, padding)
+        oh, ow = self.unfold.oh, self.unfold.ow
+        length, ckk = oh * ow, channels * kh * kw
+        self.cols4 = self.unfold.cols_mat.reshape(k, batch, ckk, length)
+        self.w_lift = (k, 1, out_ch, ckk)
+        self.out = np.empty((k, batch, out_ch, oh, ow))
+        self.out_mat = self.out.reshape(k, batch, out_ch, length)
+        self.g_shape = (k, batch, out_ch, length)
+        self.gemm_dw = _StackedGemmT(
+            k, (batch, out_ch, length), (batch, ckk, length)
+        )
+        self.dw_shape = (k,) + w_shape
+        self.need_dx = need_dx
+        self.dx_as_conv = need_dx and stride == 1 and kh - 1 - padding >= 0
+        if self.dx_as_conv:
+            g_merged4 = (k * batch, out_ch, oh, ow)
+            self.g_merged4 = g_merged4
+            self.dx_unfold = _Im2Col(g_merged4, kh, kw, 1, kh - 1 - padding)
+            okk = out_ch * kh * kw
+            self.gcols4 = self.dx_unfold.cols_mat.reshape(
+                k, batch, okk, height * width
+            )
+            self.w_flip = np.empty((k, channels, okk))
+            self.w_flip_5d = self.w_flip.reshape(k, channels, out_ch, kh, kw)
+            self.dx_buf = np.empty((k, batch, channels, height * width))
+            self.dx_shape = (k, batch, channels, height, width)
+        elif need_dx:
+            hp, wp = height + 2 * padding, width + 2 * padding
+            self.dcols6 = np.empty((k * batch, channels, kh, kw, oh, ow))
+            self.dcols_mat = _as_view(self.dcols6, (k, batch, ckk, length))
+            self.fold = _Col2Im(self.dcols6, (k * batch, channels, hp, wp), stride)
+            self.pad = padding
+
+    def forward(self, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+        self.unfold(_as_view(x, self.x_merged))
+        np.matmul(_as_view(w, self.w_lift), self.cols4, out=self.out_mat)
+        return self.out
+
+    def backward(self, g: np.ndarray, w: np.ndarray):
+        g_mat = _as_view(g, self.g_shape)
+        dw = self.gemm_dw(g_mat, self.cols4).reshape(self.dw_shape)
+        dx_merged = None
+        if self.dx_as_conv:
+            self.dx_unfold(_as_view(g, self.g_merged4))
+            np.copyto(
+                self.w_flip_5d, w[:, :, :, ::-1, ::-1].transpose(0, 2, 1, 3, 4)
+            )
+            np.matmul(self.w_flip[:, None], self.gcols4, out=self.dx_buf)
+            dx_merged = _as_view(
+                self.dx_buf.reshape(self.dx_shape),
+                (self.k * self.batch,) + self.dx_shape[2:],
+            )
+        elif self.need_dx:
+            w_t = _as_view(w, self.w_lift).transpose(0, 1, 3, 2)
+            np.matmul(w_t, g_mat, out=self.dcols_mat)
+            folded = self.fold()
+            pad = self.pad
+            dx_merged = folded[:, :, pad:-pad, pad:-pad] if pad else folded
+        return dx_merged, dw
+
+
+class _StackedConvT2d:
+    """conv_transpose2d lifted to ``(K, B, ...)``, mirroring the solo
+    ``_ConvT2dForward`` / ``_ConvT2dBackward`` pair on merged batches."""
+
+    def __init__(self, attrs, x_shape, w_shape, out_shape, k: int, need_dx: bool):
+        stride, padding = attrs["stride"], attrs["padding"]
+        batch, in_ch, height, width = x_shape
+        _, out_ch, kh, kw = w_shape
+        out_h, out_w = out_shape[2], out_shape[3]
+        okk, hw = out_ch * kh * kw, height * width
+        self.k, self.batch = k, batch
+        self.x_mat4 = (k, batch, in_ch, hw)
+        self.w_flat = (k, in_ch, okk)
+        self.cols6 = np.empty((k * batch, out_ch, kh, kw, height, width))
+        self.cols_mat = _as_view(self.cols6, (k, batch, okk, hw))
+        pad_shape = (k * batch, out_ch, out_h + 2 * padding, out_w + 2 * padding)
+        self.fold = _Col2Im(self.cols6, pad_shape, stride)
+        self.padding = padding
+        self.out = np.empty((k, batch, out_ch, out_h, out_w))
+        self.out_merged = self.out.reshape(k * batch, out_ch, out_h, out_w)
+        # backward workspaces
+        self.g_merged = (k * batch, out_ch, out_h, out_w)
+        self.unfold = _Im2Col(self.g_merged, kh, kw, stride, padding)
+        self.gcols = np.empty((k * batch, out_ch, kh, kw, height, width))
+        self.gcols_src = self.unfold.cols[:, :, :, :, :height, :width]
+        self.gcols_mat = _as_view(self.gcols, (k, batch, okk, hw))
+        self.gemm_dw = _StackedGemmT(k, (batch, in_ch, hw), (batch, okk, hw))
+        self.dw_shape = (k,) + w_shape
+        self.need_dx = need_dx
+        if need_dx:
+            self.dx = np.empty((k, batch, in_ch, hw))
+            self.dx_shape = (k,) + x_shape
+
+    def forward(self, x: np.ndarray, w: np.ndarray) -> np.ndarray:
+        x_mat = _as_view(x, self.x_mat4)
+        w_t = _as_view(w, self.w_flat).transpose(0, 2, 1)[:, None]
+        np.matmul(w_t, x_mat, out=self.cols_mat)
+        folded = self.fold()
+        pad = self.padding
+        interior = folded[:, :, pad:-pad, pad:-pad] if pad else folded
+        np.copyto(self.out_merged, interior)
+        return self.out
+
+    def backward(self, g: np.ndarray, x: np.ndarray, w: np.ndarray):
+        self.unfold(_as_view(g, self.g_merged))
+        np.copyto(self.gcols, self.gcols_src)
+        x_mat = _as_view(x, self.x_mat4)
+        dw = self.gemm_dw(x_mat, self.gcols_mat).reshape(self.dw_shape)
+        dx = None
+        if self.need_dx:
+            w_m = _as_view(w, self.w_flat)[:, None]
+            np.matmul(w_m, self.gcols_mat, out=self.dx)
+            dx = self.dx.reshape(self.dx_shape)
+        return dx, dw
+
+
+class StackedTrainStep:
+    """One solo program's plan, executing K replicas per replay.
+
+    Built from a verified :class:`~repro.nn.compile.GraphProgram`.  The
+    instance owns stacked storage for every node: parameters live in
+    :attr:`param_storage` (filled by the caller, updated in place by the
+    caller's stacked optimizer), inputs in :attr:`input_storage`
+    (position-indexed, filled per step), and :meth:`run` executes the
+    forward and backward schedules, leaving stacked parameter gradients
+    in :attr:`param_grads` and returning the stacked named outputs.
+    """
+
+    def __init__(
+        self,
+        program: GraphProgram,
+        k: int,
+        param_storage: Optional[Dict[int, np.ndarray]] = None,
+        grad_storage: Optional[Dict[int, np.ndarray]] = None,
+    ) -> None:
+        """Lift ``program`` onto a leading replica axis of size ``k``.
+
+        ``param_storage`` / ``grad_storage`` optionally supply the
+        stacked parameter (and parameter-gradient) buffers per trace
+        node id — e.g. views into a flat optimizer state — so the
+        caller's update step needs no per-step copies in or out.
+        """
+        if k < 1:
+            raise CompileUnsupported("stacked replay needs k >= 1")
+        self.k = k
+        plan = program.plan
+        nodes = program._trace.nodes
+        for nid in plan.sched:
+            if plan.ops[nid] not in _LIFTED_OPS:
+                raise CompileUnsupported(
+                    f"op {plan.ops[nid]!r} has no stacked lifting"
+                )
+        for nid, value in program._trace.constants.items():
+            if nid in plan.kinds and np.ndim(value) != 0:
+                raise CompileUnsupported(
+                    "stacked replay requires scalar trace constants"
+                )
+
+        storage: Dict[int, np.ndarray] = {}
+        self._storage = storage
+        # Leaves: constants shared as-is (scalars broadcast over the
+        # replica axis); params and inputs get owned stacked buffers.
+        for nid, value in program._trace.constants.items():
+            if nid in plan.kinds:
+                storage[nid] = value
+        self._constants = set(program._trace.constants)
+        self.param_entries = [
+            (nid, tensor)
+            for nid, tensor in program._trace.param_nodes.items()
+            if nid in plan.kinds
+        ]
+        self.param_storage: Dict[int, np.ndarray] = {}
+        for nid, tensor in self.param_entries:
+            shape = (k,) + tuple(tensor.data.shape)
+            if param_storage is not None and nid in param_storage:
+                buf = param_storage[nid]
+                if buf.shape != shape:
+                    raise CompileUnsupported("bound param storage shape mismatch")
+            else:
+                buf = np.empty(shape)
+            self.param_storage[nid] = buf
+            storage[nid] = buf
+        self.input_storage: Dict[int, np.ndarray] = {}
+        self.input_positions: Dict[int, int] = {}
+        for nid, position in program._trace.input_nodes.items():
+            if nid not in plan.kinds:
+                continue
+            buf = np.empty((k,) + plan.shapes[nid])
+            self.input_storage[position] = buf
+            storage[nid] = buf
+
+        # Dedicated stacked buffer per non-view op node (no arena: the
+        # backward pass may read any value, and K is small).
+        for nid in plan.sched:
+            if not plan.view[nid]:
+                storage[nid] = np.empty((k,) + plan.shapes[nid])
+
+        # Reconstruct the backward receive/first-write structure from
+        # the plan, exactly as GraphProgram derived it.
+        received = {plan.loss_id}
+        for nid in plan.grad_sched:
+            for parent in plan.parents[nid]:
+                if plan.requires_grad[parent]:
+                    received.add(parent)
+        self._grads: Dict[int, np.ndarray] = {}
+        for nid in received:
+            if nid == plan.loss_id:
+                self._grads[nid] = np.ones((k,) + plan.shapes[nid])
+            elif grad_storage is not None and nid in grad_storage:
+                buf = grad_storage[nid]
+                if buf.shape != (k,) + plan.shapes[nid]:
+                    raise CompileUnsupported("bound grad storage shape mismatch")
+                self._grads[nid] = buf
+            else:
+                self._grads[nid] = np.empty((k,) + plan.shapes[nid])
+        self.param_grads: Dict[int, Optional[np.ndarray]] = {
+            nid: self._grads.get(nid) for nid, _ in self.param_entries
+        }
+        self._outputs = dict(plan.outputs)
+
+        # Build closures (forward order, then backward with sites).
+        self._conv: Dict[int, object] = {}
+        self._relu_mask: Dict[int, np.ndarray] = {}
+        self._forward: List[Callable] = []
+        for nid in plan.sched:
+            self._forward.append(self._build_forward(program, nid))
+        first_write = set(received) - {plan.loss_id}
+        self._backward: List[Callable] = []
+        for nid in plan.grad_sched:
+            sites = []
+            for slot, parent in enumerate(plan.parents[nid]):
+                if parent not in self._grads:
+                    continue
+                sites.append((slot, parent, parent in first_write))
+                first_write.discard(parent)
+            self._backward.append(self._build_backward(program, nid, sites))
+
+    # -- forward -------------------------------------------------------
+    def _lifted_operand(self, plan, nid: int, out_ndim: int) -> np.ndarray:
+        """The stacked (or shared-scalar) array for one parent node."""
+        array = self._storage[nid]
+        if nid in self._constants:
+            return array  # scalar, broadcasts over every axis
+        ndim = len(plan.shapes[nid])
+        if ndim < out_ndim:
+            shape = (self.k,) + (1,) * (out_ndim - ndim) + plan.shapes[nid]
+            return _as_view(array, shape)
+        return array
+
+    def _build_forward(self, program: GraphProgram, nid: int) -> Callable:
+        plan = program.plan
+        storage = self._storage
+        node = program._trace.nodes[nid]
+        name, parents, attrs = plan.ops[nid], plan.parents[nid], node.attrs
+        out_shape = plan.shapes[nid]
+        k = self.k
+
+        if name == "reshape":
+            src = storage[parents[0]]
+            storage[nid] = _as_view(src, (k,) + out_shape)
+            return lambda: None
+        if name == "transpose":
+            axes = (0,) + tuple(a + 1 for a in attrs["axes"])
+            storage[nid] = storage[parents[0]].transpose(axes)
+            return lambda: None
+        if name == "getitem":
+            idx = attrs["idx"]
+            if not GraphProgram._is_basic_index(idx):
+                raise CompileUnsupported("stacked getitem requires basic indexing")
+            if not isinstance(idx, tuple):
+                idx = (idx,)
+            storage[nid] = storage[parents[0]][(slice(None),) + idx]
+            return lambda: None
+
+        buf = storage[nid]
+        if name == "matmul":
+            a_shape = plan.shapes[parents[0]]
+            b_shape = plan.shapes[parents[1]]
+            if len(a_shape) != 2 or len(b_shape) != 2:
+                raise CompileUnsupported("stacked matmul requires 2-D operands")
+            a, b = storage[parents[0]], storage[parents[1]]
+            return lambda: np.matmul(a, b, out=buf)
+        if name == "conv2d":
+            need_dx = plan.requires_grad[parents[0]]
+            kernel = _StackedConv2d(
+                attrs, plan.shapes[parents[0]], plan.shapes[parents[1]], k, need_dx
+            )
+            self._conv[nid] = kernel
+            storage[nid] = kernel.out
+            x, w = storage[parents[0]], storage[parents[1]]
+            return lambda: kernel.forward(x, w)
+        if name == "conv_transpose2d":
+            need_dx = plan.requires_grad[parents[0]]
+            kernel = _StackedConvT2d(
+                attrs,
+                plan.shapes[parents[0]],
+                plan.shapes[parents[1]],
+                out_shape,
+                k,
+                need_dx,
+            )
+            self._conv[nid] = kernel
+            storage[nid] = kernel.out
+            x, w = storage[parents[0]], storage[parents[1]]
+            return lambda: kernel.forward(x, w)
+        if name == "sum":
+            axis, keepdims = attrs["axis"], attrs["keepdims"]
+            src_nd = len(plan.shapes[parents[0]])
+            if axis is None:
+                axis = tuple(range(1, src_nd + 1))
+            elif isinstance(axis, tuple):
+                axis = tuple(a + 1 if a >= 0 else a for a in axis)
+            else:
+                axis = axis + 1 if axis >= 0 else axis
+            src = storage[parents[0]]
+            return lambda: np.sum(src, axis=axis, keepdims=keepdims, out=buf)
+
+        # Elementwise (rank-aligned stacked broadcasting).
+        out_nd = len(out_shape) + 1
+        ops = [self._lifted_operand(plan, p, out_nd - 1) for p in parents]
+        if name == "add":
+            a, b = ops
+            return lambda: np.add(a, b, out=buf)
+        if name == "sub":
+            a, b = ops
+            return lambda: np.subtract(a, b, out=buf)
+        if name == "mul":
+            a, b = ops
+            return lambda: np.multiply(a, b, out=buf)
+        if name == "div":
+            a, b = ops
+            return lambda: np.divide(a, b, out=buf)
+        if name == "neg":
+            (a,) = ops
+            return lambda: np.negative(a, out=buf)
+        if name == "abs":
+            (a,) = ops
+            return lambda: np.abs(a, out=buf)
+        if name == "exp":
+            (a,) = ops
+            return lambda: np.exp(a, out=buf)
+        if name == "sqrt":
+            (a,) = ops
+            return lambda: np.sqrt(a, out=buf)
+        if name == "tanh":
+            (a,) = ops
+            return lambda: np.tanh(a, out=buf)
+        if name == "sigmoid":
+            (a,) = ops
+            return lambda: stable_sigmoid(a, out=buf)
+        if name == "softplus":
+            (a,) = ops
+            return lambda: np.logaddexp(0.0, a, out=buf)
+        if name == "relu":
+            (a,) = ops
+            mask = np.empty(buf.shape, dtype=bool)
+            self._relu_mask[nid] = mask
+
+            def run_relu():
+                np.greater(a, 0, out=mask)
+                np.multiply(a, mask, out=buf)
+
+            return run_relu
+        if name == "pow":
+            (a,) = ops
+            exponent = attrs["exponent"]
+            return lambda: np.power(a, exponent, out=buf)
+        raise CompileUnsupported(f"op {name!r} has no stacked lifting")
+
+    # -- backward ------------------------------------------------------
+    def _apply_site(self, parent: int, first: bool, value: np.ndarray) -> None:
+        target = self._grads[parent]
+        if value.shape != target.shape:
+            value = _stacked_unbroadcast(value, target.shape[1:])
+        if first:
+            np.copyto(target, value)
+        else:
+            target += value
+
+    def _build_backward(self, program: GraphProgram, nid: int, sites) -> Callable:
+        plan = program.plan
+        storage = self._storage
+        node = program._trace.nodes[nid]
+        name, parents, attrs = plan.ops[nid], plan.parents[nid], node.attrs
+        grads = self._grads
+        apply_site = self._apply_site
+        k = self.k
+
+        conv = self._conv.get(nid)
+        if conv is not None and name == "conv2d":
+            w_nid = parents[1]
+
+            def conv_bwd():
+                dx_merged, dw = conv.backward(grads[nid], storage[w_nid])
+                for slot, parent, first in sites:
+                    if slot == 1:
+                        apply_site(parent, first, dw)
+                    else:
+                        target = grads[parent]
+                        merged = target.reshape(
+                            (target.shape[0] * target.shape[1],) + target.shape[2:]
+                        )
+                        if first:
+                            np.copyto(merged, dx_merged)
+                        else:
+                            merged += dx_merged
+
+            return conv_bwd
+        if conv is not None and name == "conv_transpose2d":
+            x_nid, w_nid = parents
+
+            def convt_bwd():
+                dx, dw = conv.backward(grads[nid], storage[x_nid], storage[w_nid])
+                for slot, parent, first in sites:
+                    apply_site(parent, first, dw if slot == 1 else dx)
+
+            return convt_bwd
+
+        out_nd = len(plan.shapes[nid])
+        # Operand views and scratch are resolved at build time: forward
+        # storage is fully bound before any backward closure is built,
+        # the buffers update in place, and a dedicated ``val`` scratch
+        # per node keeps the steady-state backward allocation-free
+        # (unbroadcast reductions onto bias-shaped parents still
+        # allocate; they are small).
+        def scratch() -> np.ndarray:
+            return np.empty((k,) + plan.shapes[nid])
+
+        if name in ("add", "sub"):
+            neg = scratch() if name == "sub" and any(s[0] == 1 for s in sites) else None
+
+            def addsub_bwd():
+                g = grads[nid]
+                for slot, parent, first in sites:
+                    if name == "sub" and slot == 1:
+                        np.negative(g, out=neg)
+                        apply_site(parent, first, neg)
+                    else:
+                        apply_site(parent, first, g)
+
+            return addsub_bwd
+        if name == "mul":
+            others = [self._lifted_operand(plan, p, out_nd) for p in parents]
+            val = scratch()
+
+            def mul_bwd():
+                g = grads[nid]
+                for slot, parent, first in sites:
+                    np.multiply(g, others[1 - slot], out=val)
+                    apply_site(parent, first, val)
+
+            return mul_bwd
+        if name == "div":
+            a_op = self._lifted_operand(plan, parents[0], out_nd)
+            b_op = self._lifted_operand(plan, parents[1], out_nd)
+            val = scratch()
+
+            def div_bwd():
+                g = grads[nid]
+                for slot, parent, first in sites:
+                    if slot == 0:
+                        np.divide(g, b_op, out=val)
+                        apply_site(parent, first, val)
+                    else:
+                        apply_site(parent, first, -g * a_op / (b_op * b_op))
+
+            return div_bwd
+        if name == "neg":
+            val = scratch()
+
+            def neg_bwd():
+                np.negative(grads[nid], out=val)
+                for slot, parent, first in sites:
+                    apply_site(parent, first, val)
+
+            return neg_bwd
+        if name == "abs":
+            src = self._lifted_operand(plan, parents[0], out_nd)
+            val, sign = scratch(), scratch()
+
+            def abs_bwd():
+                np.sign(src, out=sign)
+                np.multiply(grads[nid], sign, out=val)
+                for slot, parent, first in sites:
+                    apply_site(parent, first, val)
+
+            return abs_bwd
+        if name in ("exp", "sqrt", "tanh", "sigmoid"):
+            out_buf = storage[nid]
+            val = scratch()
+
+            def unary_bwd():
+                g = grads[nid]
+                if name == "exp":
+                    np.multiply(g, out_buf, out=val)
+                elif name == "sqrt":
+                    np.multiply(g, 0.5, out=val)
+                    np.divide(val, out_buf, out=val)
+                elif name == "tanh":
+                    np.multiply(out_buf, out_buf, out=val)
+                    np.subtract(1.0, val, out=val)
+                    np.multiply(g, val, out=val)
+                else:  # sigmoid
+                    np.subtract(1.0, out_buf, out=val)
+                    np.multiply(out_buf, val, out=val)
+                    np.multiply(g, val, out=val)
+                for slot, parent, first in sites:
+                    apply_site(parent, first, val)
+
+            return unary_bwd
+        if name == "softplus":
+            src = self._lifted_operand(plan, parents[0], out_nd)
+            val, sig = scratch(), scratch()
+
+            def softplus_bwd():
+                stable_sigmoid(src, out=sig)
+                np.multiply(grads[nid], sig, out=val)
+                for slot, parent, first in sites:
+                    apply_site(parent, first, val)
+
+            return softplus_bwd
+        if name == "relu":
+            mask = self._relu_mask[nid]
+            val = scratch()
+
+            def relu_bwd():
+                np.multiply(grads[nid], mask, out=val)
+                for slot, parent, first in sites:
+                    apply_site(parent, first, val)
+
+            return relu_bwd
+        if name == "pow":
+            exponent = attrs["exponent"]
+            base = self._lifted_operand(plan, parents[0], out_nd)
+            val = scratch()
+
+            def pow_bwd():
+                np.power(base, exponent - 1, out=val)
+                np.multiply(val, exponent, out=val)
+                np.multiply(grads[nid], val, out=val)
+                for slot, parent, first in sites:
+                    apply_site(parent, first, val)
+
+            return pow_bwd
+        if name == "sum":
+            axis, keepdims = attrs["axis"], attrs["keepdims"]
+            pshape = plan.shapes[parents[0]]
+            expand_axis = None
+            if axis is not None and not keepdims:
+                expand_axis = axis + 1 if axis >= 0 else axis
+
+            def sum_bwd():
+                g = grads[nid]
+                if axis is None:
+                    g = g.reshape((k,) + (1,) * len(pshape))
+                elif expand_axis is not None:
+                    g = np.expand_dims(g, axis=expand_axis)
+                value = np.broadcast_to(g, (k,) + pshape)
+                for slot, parent, first in sites:
+                    apply_site(parent, first, value)
+
+            return sum_bwd
+        if name == "reshape":
+            pshape = plan.shapes[parents[0]]
+
+            def reshape_bwd():
+                value = grads[nid].reshape((k,) + pshape)
+                for slot, parent, first in sites:
+                    apply_site(parent, first, value)
+
+            return reshape_bwd
+        if name == "transpose":
+            inverse = (0,) + tuple(a + 1 for a in attrs["inverse"])
+
+            def transpose_bwd():
+                value = grads[nid].transpose(inverse)
+                for slot, parent, first in sites:
+                    apply_site(parent, first, value)
+
+            return transpose_bwd
+        if name == "getitem":
+            idx = attrs["idx"]
+            if not isinstance(idx, tuple):
+                idx = (idx,)
+            full_idx = (slice(None),) + idx
+            pshape = plan.shapes[parents[0]]
+            full = np.zeros((k,) + pshape)
+
+            def getitem_bwd():
+                # Basic slicing has no duplicate indices: assignment
+                # equals the reference np.add.at over zeros.
+                full.fill(0.0)
+                full[full_idx] = grads[nid]
+                for slot, parent, first in sites:
+                    apply_site(parent, first, full)
+
+            return getitem_bwd
+        if name == "matmul":
+            a_nid, b_nid = parents
+            a_t = storage[a_nid].transpose(0, 2, 1)
+            b_t = storage[b_nid].transpose(0, 2, 1)
+            vals = {
+                slot: np.empty((k,) + plan.shapes[parents[slot]])
+                for slot, _, _ in sites
+            }
+
+            def matmul_bwd():
+                g = grads[nid]
+                for slot, parent, first in sites:
+                    val = vals[slot]
+                    if slot == 0:
+                        np.matmul(g, b_t, out=val)
+                    else:
+                        np.matmul(a_t, g, out=val)
+                    apply_site(parent, first, val)
+
+            return matmul_bwd
+        raise CompileUnsupported(f"op {name!r} has no stacked VJP")
+
+    # -- execution -----------------------------------------------------
+    def run(
+        self, inputs: Optional[Sequence[np.ndarray]] = None
+    ) -> Dict[str, np.ndarray]:
+        """One stacked forward+backward; ``inputs[i]`` is ``(K, ...)``.
+
+        With ``inputs=None`` the caller has already written this step's
+        batch directly into :attr:`input_storage` (the zero-copy path).
+        Parameter gradients land in :attr:`param_grads`; the caller owns
+        clipping and the stacked optimizer update (and must refresh
+        :attr:`param_storage` before the next call).
+        """
+        if inputs is not None:
+            for position, buf in self.input_storage.items():
+                np.copyto(buf, inputs[position])
+        for instr in self._forward:
+            instr()
+        for instr in self._backward:
+            instr()
+        return {name: self._storage[nid] for name, nid in self._outputs.items()}

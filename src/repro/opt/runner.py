@@ -10,7 +10,12 @@ engine-backed simulator sharing one persistent cache and worker pool, and
 ``parallel_seeds > 1`` runs seeds concurrently on threads (the heavy
 synthesis work happens in the engine's worker processes; per-seed budget
 accounting stays independent, so records are bit-identical to serial
-execution in any case).
+execution in any case).  Parallel waves additionally share a
+:class:`repro.core.replicas.ReplicaRoundPool`: same-shaped model-based
+cells train their first round as one stacked multi-replica program,
+equivalent to per-cell training within floating-point reassociation
+(``REPRO_STACKED_REPLICAS=0`` restores strictly bit-identical per-cell
+training; checkpointed cells always train per-cell).
 
 .. deprecated::
     :func:`run_method` and :func:`run_comparison` are thin shims kept for
@@ -158,7 +163,7 @@ def _run_seed_grid(
     if observer is not None and method_name is None:
         raise ValueError("an observed grid needs an explicit method_name")
 
-    def _run_one(seed: int) -> RunRecord:
+    def _run_one(seed: int, pool_handle=None) -> RunRecord:
         # The span context-manager form guarantees the seed span closes
         # even when RunInterrupted (or anything else) unwinds the seed
         # thread mid-run; fresh threads parent to the tracer's default
@@ -167,9 +172,16 @@ def _run_seed_grid(
             if method_name is not None:
                 span.set_attr("method", method_name)
             span.set_attr("seed", seed)
-            return _run_seed(seed)
+            try:
+                return _run_seed(seed, pool_handle)
+            finally:
+                if pool_handle is not None:
+                    # Every registered cell must arrive or withdraw, or
+                    # the wave's rendezvous never releases; withdrawing
+                    # an already-consumed handle is a no-op.
+                    pool_handle.withdraw()
 
-    def _run_seed(seed: int) -> RunRecord:
+    def _run_seed(seed: int, pool_handle=None) -> RunRecord:
         if observer is not None:
             observer.check_interrupt()
             done = observer.completed_record(method_name, seed)
@@ -178,6 +190,8 @@ def _run_seed_grid(
                 return done
         algorithm = factory(seed)
         simulator = _make_simulator(task, budget, engine)
+        if pool_handle is not None:
+            simulator.replica_pool = pool_handle
         if observer is not None:
             replayed = observer.before_seed(method_name, seed, simulator)
             observer.on_seed_started(method_name, seed, replayed)
@@ -204,8 +218,27 @@ def _run_seed_grid(
 
     seeds = list(seeds)
     if parallel_seeds > 1 and len(seeds) > 1:
-        with ThreadPoolExecutor(max_workers=min(parallel_seeds, len(seeds))) as pool:
-            return list(pool.map(_run_one, seeds))
+        # Seeds run in waves of exactly the worker count, one fresh
+        # ReplicaRoundPool per wave: every wave member is guaranteed its
+        # own live thread, so the pool's rendezvous (first training
+        # round trains same-shaped cells as one stacked multi-replica
+        # program) can never deadlock on thread reuse.  Results are
+        # identical to the plain map — cells are independent.
+        from ..core.replicas import ReplicaRoundPool, use_stacked_replicas
+
+        workers = min(parallel_seeds, len(seeds))
+        pooling = use_stacked_replicas()
+        records: List[RunRecord] = []
+        for start in range(0, len(seeds), workers):
+            wave = seeds[start:start + workers]
+            if pooling and len(wave) > 1:
+                wave_pool = ReplicaRoundPool()
+                handles = [wave_pool.handle(seed) for seed in wave]
+            else:
+                handles = [None] * len(wave)
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                records.extend(pool.map(_run_one, wave, handles))
+        return records
     return [_run_one(seed) for seed in seeds]
 
 

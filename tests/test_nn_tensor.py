@@ -218,3 +218,39 @@ class TestConstructors:
         t = nn.Tensor(np.zeros((2, 2)), requires_grad=True)
         assert "requires_grad" in repr(t)
         assert len(t) == 2
+
+
+class TestGradModeThreadLocal:
+    def test_no_grad_is_per_thread(self):
+        """Regression: one thread's no_grad section must never disable
+        graph construction in a concurrently working thread (the stacked
+        replica pool releases a whole wave of cells in lockstep, so
+        overlapping no_grad windows are the norm, not a race)."""
+        import threading
+
+        inside = threading.Event()
+        release = threading.Event()
+        errors = []
+
+        def holder():
+            try:
+                with nn.no_grad():
+                    inside.set()
+                    release.wait(timeout=30)
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        t = threading.Thread(target=holder)
+        t.start()
+        try:
+            assert inside.wait(timeout=30)
+            a = nn.Tensor(np.array([3.0]), requires_grad=True)
+            out = (a * a).sum()
+            assert out.requires_grad
+            out.backward()
+            np.testing.assert_allclose(a.grad, [6.0])
+        finally:
+            release.set()
+            t.join(timeout=30)
+        assert not errors
+        assert not t.is_alive()
